@@ -1,0 +1,41 @@
+# disttime — reproduction of Marzullo & Owicki, "Maintaining the Time in
+# a Distributed System" (1983). Standard library only; Go 1.23+.
+
+GO ?= go
+
+.PHONY: all build vet test test-race cover bench experiments ablations examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/udptime/ ./cmd/...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per paper figure/claim plus the ablations; doubles as the
+# reproduction gate (a benchmark fails if its paper-shape stops holding).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the EXPERIMENTS.md data.
+experiments:
+	$(GO) run ./cmd/timesim -all
+
+ablations:
+	$(GO) run ./cmd/timesim -ablations
+
+examples:
+	@for d in examples/*/; do echo "=== $$d ==="; $(GO) run ./$$d || exit 1; done
+
+clean:
+	$(GO) clean ./...

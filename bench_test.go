@@ -1,0 +1,224 @@
+package disttime_test
+
+// The benchmark harness: one benchmark per figure, theorem, and in-text
+// experimental claim of the paper (the E1..E15 index in DESIGN.md). Each
+// benchmark regenerates the corresponding experiment's table — run with
+//
+//	go test -bench=. -benchmem
+//
+// and compare with the recorded results in EXPERIMENTS.md. A benchmark
+// fails if its experiment's paper-shape assertion does not hold, so the
+// suite doubles as the reproduction gate. The final section adds
+// micro-benchmarks on the hot paths (intersection sweep, event loop, the
+// full service protocol).
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"disttime"
+	"disttime/internal/experiments"
+)
+
+func runExperiment(b *testing.B, fn func() (experiments.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn()
+		if err != nil {
+			b.Fatalf("experiment failed: %v\n%s", err, tbl)
+		}
+	}
+}
+
+// BenchmarkFigure1ErrorGrowth regenerates E1 (Figure 1): growth of maximum
+// errors.
+func BenchmarkFigure1ErrorGrowth(b *testing.B) { runExperiment(b, experiments.Figure1) }
+
+// BenchmarkFigure2Intersection regenerates E2 (Figure 2 / Theorem 6).
+func BenchmarkFigure2Intersection(b *testing.B) { runExperiment(b, experiments.Figure2) }
+
+// BenchmarkTheorem1Correctness regenerates E3 (Theorems 1 and 5).
+func BenchmarkTheorem1Correctness(b *testing.B) { runExperiment(b, experiments.Correctness) }
+
+// BenchmarkTheorem2ErrorBound regenerates E4 (Theorem 2).
+func BenchmarkTheorem2ErrorBound(b *testing.B) { runExperiment(b, experiments.Theorem2) }
+
+// BenchmarkTheorem3Asynchronism regenerates E5 (Theorem 3).
+func BenchmarkTheorem3Asynchronism(b *testing.B) { runExperiment(b, experiments.Theorem3) }
+
+// BenchmarkTheorem4Convergence regenerates E6 (Theorem 4).
+func BenchmarkTheorem4Convergence(b *testing.B) { runExperiment(b, experiments.Theorem4) }
+
+// BenchmarkTheorem7IMAsynchronism regenerates E7 (Theorem 7).
+func BenchmarkTheorem7IMAsynchronism(b *testing.B) { runExperiment(b, experiments.Theorem7) }
+
+// BenchmarkTheorem8ExpectedError regenerates E8 (Theorem 8).
+func BenchmarkTheorem8ExpectedError(b *testing.B) { runExperiment(b, experiments.Theorem8) }
+
+// BenchmarkRecoveryFaultyDrift regenerates E9 (the Section 3 experiment).
+func BenchmarkRecoveryFaultyDrift(b *testing.B) { runExperiment(b, experiments.Recovery) }
+
+// BenchmarkIMvsMMErrorGrowth regenerates E10 (the Section 4 "ten times
+// slower" experiment).
+func BenchmarkIMvsMMErrorGrowth(b *testing.B) { runExperiment(b, experiments.IMvsMM) }
+
+// BenchmarkFigure3IMFailure regenerates E11 (Figure 3).
+func BenchmarkFigure3IMFailure(b *testing.B) { runExperiment(b, experiments.Figure3) }
+
+// BenchmarkFigure4ConsistencyGroups regenerates E12 (Figure 4).
+func BenchmarkFigure4ConsistencyGroups(b *testing.B) { runExperiment(b, experiments.Figure4) }
+
+// BenchmarkConsonanceRates regenerates E13 (Section 5).
+func BenchmarkConsonanceRates(b *testing.B) { runExperiment(b, experiments.Consonance) }
+
+// BenchmarkBaselineComparison regenerates E14 (Section 1.2 baselines).
+func BenchmarkBaselineComparison(b *testing.B) { runExperiment(b, experiments.Baselines) }
+
+// BenchmarkFaultTolerantIntersection regenerates E15 (the [Marzullo 83]
+// extension).
+func BenchmarkFaultTolerantIntersection(b *testing.B) {
+	runExperiment(b, experiments.FaultTolerantIntersection)
+}
+
+// --- Micro-benchmarks on the hot paths ---
+
+// BenchmarkMarzulloSweep measures the fault-tolerant intersection sweep on
+// 100 intervals (the per-selection cost in an NTP-like client).
+func BenchmarkMarzulloSweep(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	ivs := make([]disttime.Interval, 100)
+	for i := range ivs {
+		ivs[i] = disttime.FromEstimate(rng.Float64()*10, 0.5+rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disttime.Marzullo(ivs)
+	}
+}
+
+// BenchmarkConsistencyGroups measures Figure 4 decomposition on 100
+// intervals.
+func BenchmarkConsistencyGroups(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	ivs := make([]disttime.Interval, 100)
+	for i := range ivs {
+		ivs[i] = disttime.FromEstimate(rng.Float64()*100, 0.5+rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disttime.ConsistencyGroups(ivs)
+	}
+}
+
+// BenchmarkServiceHour measures the full protocol cost of one simulated
+// hour for an eight-server full mesh under IM (requests, replies, RTT
+// measurement, rule IM-2, sampling).
+func BenchmarkServiceHour(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		specs := make([]disttime.ServerSpec, 8)
+		for j := range specs {
+			drift := float64(j-4) * 1e-5
+			specs[j] = disttime.ServerSpec{
+				Delta:        math.Abs(drift)*1.2 + 1e-6,
+				Drift:        drift,
+				InitialError: 0.05,
+				SyncEvery:    60,
+			}
+		}
+		sim, err := disttime.NewSimulation(disttime.SimulationConfig{
+			Seed:    uint64(i),
+			Delay:   disttime.UniformDelay{Max: 0.01},
+			Fn:      disttime.IM{},
+			Servers: specs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Run(3600)
+		if s := sim.Snapshot(); !s.AllCorrect {
+			b.Fatal("correctness lost")
+		}
+	}
+}
+
+// BenchmarkRuleMM2 measures a single rule-MM-2 pass over eight replies.
+func BenchmarkRuleMM2(b *testing.B) {
+	replies := make([]disttime.Reply, 8)
+	for i := range replies {
+		replies[i] = disttime.Reply{From: i + 1, C: 1000.001, E: 0.5, RTT: 0.01}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := disttime.NewServer(1000, disttime.ServerConfig{
+			Clock:        disttime.NewDriftingClock(1000, 1000, 0),
+			Delta:        1e-5,
+			InitialError: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		disttime.MM{}.Sync(s, 1000, replies)
+	}
+}
+
+// BenchmarkRuleIM2 measures a single rule-IM-2 pass over eight replies.
+func BenchmarkRuleIM2(b *testing.B) {
+	replies := make([]disttime.Reply, 8)
+	for i := range replies {
+		replies[i] = disttime.Reply{From: i + 1, C: 1000.001, E: 0.5, RTT: 0.01}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := disttime.NewServer(1000, disttime.ServerConfig{
+			Clock:        disttime.NewDriftingClock(1000, 1000, 0),
+			Delta:        1e-5,
+			InitialError: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		disttime.IM{}.Sync(s, 1000, replies)
+	}
+}
+
+// --- Ablation studies (DESIGN.md A1..A5) ---
+
+// BenchmarkAblationSelfInterval regenerates A1.
+func BenchmarkAblationSelfInterval(b *testing.B) { runExperiment(b, experiments.AblationSelfInterval) }
+
+// BenchmarkAblationInconsistentPolicy regenerates A2.
+func BenchmarkAblationInconsistentPolicy(b *testing.B) {
+	runExperiment(b, experiments.AblationInconsistentPolicy)
+}
+
+// BenchmarkAblationTau regenerates A3.
+func BenchmarkAblationTau(b *testing.B) { runExperiment(b, experiments.AblationTau) }
+
+// BenchmarkAblationLoss regenerates A4.
+func BenchmarkAblationLoss(b *testing.B) { runExperiment(b, experiments.AblationLoss) }
+
+// BenchmarkAblationScale regenerates A5.
+func BenchmarkAblationScale(b *testing.B) { runExperiment(b, experiments.AblationScale) }
+
+// BenchmarkAblationSlew regenerates A6.
+func BenchmarkAblationSlew(b *testing.B) { runExperiment(b, experiments.AblationSlew) }
+
+// BenchmarkRecoveryBreakdown regenerates E16 (the Section 3 breakdown
+// caveat).
+func BenchmarkRecoveryBreakdown(b *testing.B) { runExperiment(b, experiments.RecoveryBreakdown) }
+
+// BenchmarkAblationErrorFloor regenerates A7.
+func BenchmarkAblationErrorFloor(b *testing.B) { runExperiment(b, experiments.AblationErrorFloor) }
+
+// BenchmarkAblationRateFilter regenerates A8 (the Section 5 defense).
+func BenchmarkAblationRateFilter(b *testing.B) { runExperiment(b, experiments.AblationRateFilter) }
+
+// BenchmarkAblationAdaptiveDelta regenerates A9 (delta maintenance).
+func BenchmarkAblationAdaptiveDelta(b *testing.B) {
+	runExperiment(b, experiments.AblationAdaptiveDelta)
+}

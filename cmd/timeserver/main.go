@@ -1,0 +1,67 @@
+// Command timeserver runs a UDP time server: it answers each request with
+// the pair <C, E> of rule MM-1 — its clock value and its current maximum
+// error, which deteriorates at the claimed drift rate between restarts.
+//
+// Usage:
+//
+//	timeserver -addr 127.0.0.1:3123 -id 1 -initial-error 10ms -drift-ppm 50
+//
+// The server runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"disttime/internal/udptime"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "timeserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("timeserver", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:3123", "UDP address to listen on")
+		id         = fs.Uint64("id", 1, "server identity echoed in responses")
+		initialErr = fs.Duration("initial-error", 10*time.Millisecond,
+			"error the local clock is trusted to at startup")
+		driftPPM = fs.Float64("drift-ppm", 50,
+			"claimed drift bound of the local clock, parts per million")
+		verbose = fs.Bool("v", false, "log malformed datagrams")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src, err := udptime.NewSystemClock(*initialErr, *driftPPM)
+	if err != nil {
+		return err
+	}
+	var opts []udptime.ServerOption
+	if *verbose {
+		opts = append(opts, udptime.WithServerLogger(log.New(os.Stderr, "", log.LstdFlags)))
+	}
+	srv, err := udptime.NewServer(*addr, *id, src, opts...)
+	if err != nil {
+		return err
+	}
+	log.Printf("timeserver %d listening on %v (initial error %v, drift bound %v ppm)",
+		*id, srv.Addr(), *initialErr, *driftPPM)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down after %d requests (%d malformed datagrams)",
+		srv.Requests(), srv.MalformedDatagrams())
+	return srv.Close()
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// run blocks until a signal once the server starts, so only the error
+// paths are testable directly; the happy path is covered by the udptime
+// package tests and the examples.
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad flag", args: []string{"-bogus"}},
+		{name: "bad address", args: []string{"-addr", "not an address"}},
+		{name: "negative initial error", args: []string{"-initial-error", "-1s"}},
+		{name: "negative drift", args: []string{"-drift-ppm", "-5"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Errorf("run(%v) accepted", tt.args)
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+// Command timesim runs the paper-reproduction experiments: every figure,
+// theorem bound, and in-text experimental claim of Marzullo & Owicki 1983
+// (the E1..E15 index in DESIGN.md).
+//
+// Usage:
+//
+//	timesim -list
+//	timesim -experiment fig3
+//	timesim -experiment E9
+//	timesim -all
+//
+// Each experiment prints the paper's claim, the measured finding, and the
+// regenerated table. The exit status is nonzero when a reproduced shape
+// does not hold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"disttime/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "timesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("timesim", flag.ContinueOnError)
+	var (
+		list      = fs.Bool("list", false, "list the available experiments")
+		name      = fs.String("experiment", "", "experiment or ablation ID or slug to run (e.g. E9, recovery, A3)")
+		all       = fs.Bool("all", false, "run every paper experiment in order")
+		ablations = fs.Bool("ablations", false, "run every ablation study in order")
+		asCSV     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		figures   = fs.Bool("figures", false, "render the paper's four figures as interval diagrams")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	emit := func(tbl experiments.Table) error {
+		if *asCSV {
+			return tbl.WriteCSV(out)
+		}
+		_, err := fmt.Fprintln(out, tbl)
+		return err
+	}
+
+	switch {
+	case *figures:
+		_, err := fmt.Fprintln(out, experiments.Figures())
+		return err
+	case *list:
+		fmt.Fprintf(out, "%-4s  %-22s  %s\n", "ID", "SLUG", "SOURCE")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-4s  %-22s  %s\n", e.ID, e.Slug, e.Source)
+		}
+		for _, e := range experiments.Ablations() {
+			fmt.Fprintf(out, "%-4s  %-22s  %s\n", e.ID, e.Slug, e.Source)
+		}
+		return nil
+	case *ablations:
+		for _, e := range experiments.Ablations() {
+			tbl, err := e.Run()
+			if err != nil {
+				fmt.Fprintln(out, tbl)
+				return fmt.Errorf("%s (%s): %w", e.ID, e.Source, err)
+			}
+			if err := emit(tbl); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *all:
+		for _, e := range experiments.All() {
+			tbl, err := e.Run()
+			if err != nil {
+				fmt.Fprintln(out, tbl)
+				return fmt.Errorf("%s (%s): %w", e.ID, e.Source, err)
+			}
+			if err := emit(tbl); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *name != "":
+		e, ok := experiments.FindAny(*name)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *name)
+		}
+		tbl, err := e.Run()
+		if err != nil {
+			fmt.Fprintln(out, tbl)
+			return fmt.Errorf("%s (%s): %w", e.ID, e.Source, err)
+		}
+		return emit(tbl)
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -all, -ablations, -figures, or -experiment")
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E1", "E15", "A1", "fig1", "recovery", "ablation-slew"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "fig3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E11") {
+		t.Errorf("output missing experiment table:\n%s", buf.String())
+	}
+}
+
+func TestRunSingleAblation(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "A1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Ablation") {
+		t.Errorf("output missing ablation table:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "nope"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "fig3", "-csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# E11:") {
+		t.Errorf("CSV comment header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "algorithm,resulting C") {
+		t.Errorf("CSV header row missing:\n%s", out)
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-figures"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1", "Figure 4"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("figures output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package disttime_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"disttime"
+)
+
+func TestMarzulloFacade(t *testing.T) {
+	best := disttime.Marzullo([]disttime.Interval{
+		disttime.FromEstimate(10.000, 0.005),
+		disttime.FromEstimate(10.003, 0.004),
+		disttime.FromEstimate(99.0, 0.001),
+	})
+	if best.Count != 2 {
+		t.Fatalf("Count = %d, want 2", best.Count)
+	}
+	if !best.Interval.Contains(10.001) {
+		t.Errorf("best interval %v excludes the overlap", best.Interval)
+	}
+}
+
+func TestIntersectReadings(t *testing.T) {
+	base := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	readings := []disttime.TimeReading{
+		{C: base, E: 100 * time.Millisecond},
+		{C: base.Add(50 * time.Millisecond), E: 100 * time.Millisecond},
+	}
+	c, e, ok := disttime.IntersectReadings(readings)
+	if !ok {
+		t.Fatal("consistent readings reported inconsistent")
+	}
+	// Common interval: [base-50ms, base+100ms] -> midpoint base+25ms,
+	// half-width 75ms.
+	if got := c.Sub(base); got != 25*time.Millisecond {
+		t.Errorf("midpoint offset = %v, want 25ms", got)
+	}
+	if e != 75*time.Millisecond {
+		t.Errorf("error = %v, want 75ms", e)
+	}
+}
+
+func TestIntersectReadingsInconsistent(t *testing.T) {
+	base := time.Now()
+	readings := []disttime.TimeReading{
+		{C: base, E: time.Millisecond},
+		{C: base.Add(time.Hour), E: time.Millisecond},
+	}
+	if _, _, ok := disttime.IntersectReadings(readings); ok {
+		t.Error("inconsistent readings reported consistent")
+	}
+}
+
+func TestIntersectReadingsEmpty(t *testing.T) {
+	if _, _, ok := disttime.IntersectReadings(nil); ok {
+		t.Error("empty readings reported consistent")
+	}
+}
+
+// TestEndToEndSimulationFacade drives a complete simulated service through
+// the public API only.
+func TestEndToEndSimulationFacade(t *testing.T) {
+	specs := make([]disttime.ServerSpec, 5)
+	for i := range specs {
+		drift := float64(i-2) * 1e-5
+		specs[i] = disttime.ServerSpec{
+			Delta:        math.Abs(drift)*1.2 + 1e-6,
+			Drift:        drift,
+			InitialError: 0.05,
+			SyncEvery:    10,
+		}
+	}
+	sim, err := disttime.NewSimulation(disttime.SimulationConfig{
+		Seed:     1,
+		Delay:    disttime.UniformDelay{Max: 0.01},
+		Topology: disttime.FullMesh,
+		Fn:       disttime.IM{},
+		Servers:  specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := sim.RunSampled(300, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !s.AllCorrect {
+			t.Fatalf("correctness lost at t=%v", s.T)
+		}
+	}
+}
+
+// TestEndToEndUDPFacade runs the real UDP path through the public API.
+func TestEndToEndUDPFacade(t *testing.T) {
+	src, err := disttime.NewSystemClock(5*time.Millisecond, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		srv, err := disttime.NewUDPServer("127.0.0.1:0", uint64(i), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr().String())
+	}
+	dc, err := disttime.NewDisciplinedClock(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := disttime.NewUDPClient(2*time.Second, dc)
+	ms, err := client.QueryMany(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := disttime.SyncIM(dc, ms); err != nil {
+		t.Fatal(err)
+	}
+	now, e, synced := dc.Now()
+	if !synced {
+		t.Fatal("clock not synchronized")
+	}
+	if d := now.Sub(time.Now()); math.Abs(d.Seconds()) > e.Seconds()+0.1 {
+		t.Errorf("clock off by %v with bound %v", d, e)
+	}
+}
+
+func TestSelectFacade(t *testing.T) {
+	sel, err := disttime.Select([]disttime.SelectionReading{
+		{ID: "a", Interval: disttime.FromEstimate(5, 1)},
+		{ID: "b", Interval: disttime.FromEstimate(5.5, 1)},
+		{ID: "liar", Interval: disttime.FromEstimate(50, 1)},
+	}, disttime.SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Falsetickers) != 1 {
+		t.Errorf("falsetickers = %v", sel.Falsetickers)
+	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	specs := make([]disttime.ServerSpec, 3)
+	for i := range specs {
+		specs[i] = disttime.ServerSpec{
+			Delta:        1e-4,
+			Drift:        float64(i-1) * 5e-5,
+			InitialError: 0.05,
+			SyncEvery:    10,
+		}
+	}
+	sim, err := disttime.NewSimulation(disttime.SimulationConfig{
+		Seed:    3,
+		Delay:   disttime.UniformDelay{Max: 0.01},
+		Fn:      disttime.IM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := disttime.NewTraceLog(1000)
+	disttime.AttachTrace(sim, log)
+	sim.Run(100)
+	if log.Count(disttime.TraceSync) == 0 {
+		t.Error("no sync events traced through the facade")
+	}
+}
+
+func TestSinusoidAndSlewFacade(t *testing.T) {
+	osc := disttime.NewSinusoidClock(0, 0, 1e-4, 3600, 0)
+	if got := osc.Read(3600); math.Abs(got-3600) > 1e-6 {
+		t.Errorf("sinusoid over a period = %v", got)
+	}
+	slew := disttime.NewSlewingClock(disttime.NewDriftingClock(0, 0, 0), 0.1)
+	slew.Read(0)
+	slew.Set(0, 10)
+	if slew.PendingCorrection() != 10 {
+		t.Errorf("pending = %v", slew.PendingCorrection())
+	}
+}
+
+func TestSelectRFCFacade(t *testing.T) {
+	sel, err := disttime.SelectRFC([]disttime.SelectionReading{
+		{ID: "a", Interval: disttime.FromEstimate(5, 1)},
+		{ID: "b", Interval: disttime.FromEstimate(5.2, 1)},
+		{ID: "liar", Interval: disttime.FromEstimate(50, 1)},
+	}, disttime.SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Falsetickers) != 1 {
+		t.Errorf("falsetickers = %v", sel.Falsetickers)
+	}
+}
+
+func TestPeerFacade(t *testing.T) {
+	src, err := disttime.NewSystemClock(5*time.Millisecond, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := disttime.NewUDPServer("127.0.0.1:0", 9, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	reports := make(chan disttime.SyncReport, 4)
+	peer, err := disttime.NewPeer(disttime.PeerConfig{
+		Addr: "127.0.0.1:0", ID: 1, DriftPPM: 100,
+		Peers:    []string{ref.Addr().String()},
+		Interval: time.Minute, Timeout: 2 * time.Second,
+		OnSync: func(r disttime.SyncReport) { reports <- r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	select {
+	case r := <-reports:
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never synced")
+	}
+}
+
+func TestConsonanceFacade(t *testing.T) {
+	specs := []disttime.ServerSpec{
+		{Delta: 1e-5, Drift: 0.5e-5, InitialError: 0.05, SyncEvery: 30},
+		{Delta: 1e-5, Drift: -0.5e-5, InitialError: 0.05, SyncEvery: 30},
+		{Delta: 1e-6, Drift: 5e-5, InitialError: 0.05}, // invalid bound, never resets
+	}
+	sim, err := disttime.NewSimulation(disttime.SimulationConfig{
+		Seed:    9,
+		Delay:   disttime.UniformDelay{Max: 0.002},
+		Fn:      disttime.MM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1800)
+	var report disttime.ConsonanceReport = sim.Consonance()
+	if got := report.Suspects(2); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Suspects = %v, want [2]", got)
+	}
+}

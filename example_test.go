@@ -1,0 +1,149 @@
+package disttime_test
+
+import (
+	"fmt"
+	"math"
+
+	"disttime"
+)
+
+// The intersection of consistent server answers is tighter than any
+// single answer (Theorem 6) and still contains the correct time.
+func ExampleIntersectAll() {
+	answers := []disttime.Interval{
+		disttime.FromEstimate(10.000, 0.005),
+		disttime.FromEstimate(10.003, 0.004),
+		disttime.FromEstimate(9.998, 0.006),
+	}
+	common, ok := disttime.IntersectAll(answers)
+	fmt.Printf("ok=%v C=%.4f E=%.4f\n", ok, common.Midpoint(), common.HalfWidth())
+	// Output: ok=true C=10.0015 E=0.0025
+}
+
+// Marzullo's algorithm finds the interval the largest number of sources
+// agree on, outvoting falsetickers.
+func ExampleMarzullo() {
+	answers := []disttime.Interval{
+		disttime.FromEstimate(10.000, 0.005),
+		disttime.FromEstimate(10.003, 0.004),
+		disttime.FromEstimate(99.0, 0.001), // falseticker
+	}
+	best := disttime.Marzullo(answers)
+	fmt.Printf("%d of %d agree on [%.4f, %.4f]\n",
+		best.Count, len(answers), best.Interval.Lo, best.Interval.Hi)
+	// Output: 2 of 3 agree on [9.9990, 10.0050]
+}
+
+// An inconsistent service decomposes into maximal consistency groups
+// (the paper's Figure 4); consistency is not transitive, so groups may
+// share members.
+func ExampleConsistencyGroups() {
+	ivs := []disttime.Interval{
+		{Lo: 0, Hi: 3},   // S1
+		{Lo: 2.5, Hi: 6}, // S2: consistent with S1 and with S3
+		{Lo: 5, Hi: 9},   // S3
+	}
+	for _, g := range disttime.ConsistencyGroups(ivs) {
+		fmt.Printf("members=%v intersection=[%.1f, %.1f]\n",
+			g.Members, g.Intersection.Lo, g.Intersection.Hi)
+	}
+	// Output:
+	// members=[0 1] intersection=[2.5, 3.0]
+	// members=[1 2] intersection=[5.0, 6.0]
+}
+
+// A time server answers with the pair <C, E> of rule MM-1 and
+// synchronizes with rule IM-2: intersect the reply intervals and adopt
+// the midpoint.
+func ExampleServer() {
+	server, err := disttime.NewServer(0, disttime.ServerConfig{
+		Clock:        disttime.NewDriftingClock(0, 100, 0), // reads 100 at t=0
+		Delta:        1e-5,                                 // claimed drift bound
+		InitialError: 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	replies := []disttime.Reply{
+		{From: 1, C: 103, E: 4}, // interval [99, 107]
+		{From: 2, C: 98, E: 2},  // interval [96, 100]
+	}
+	res := disttime.IM{}.Sync(server, 0, replies)
+	r := server.Reading(0)
+	fmt.Printf("reset=%v C=%.1f E=%.1f\n", res.Reset, r.C, r.E)
+	// Output: reset=true C=99.5 E=0.5
+}
+
+// A whole simulated time service: five drifting clocks in a full mesh
+// synchronizing with algorithm IM every ten seconds, all provably correct
+// throughout.
+func ExampleNewSimulation() {
+	specs := make([]disttime.ServerSpec, 5)
+	for i := range specs {
+		drift := float64(i-2) * 2e-5
+		specs[i] = disttime.ServerSpec{
+			Delta:        math.Abs(drift)*1.2 + 1e-6,
+			Drift:        drift,
+			InitialError: 0.05,
+			SyncEvery:    10,
+		}
+	}
+	sim, err := disttime.NewSimulation(disttime.SimulationConfig{
+		Seed:    1,
+		Delay:   disttime.UniformDelay{Max: 0.01},
+		Fn:      disttime.IM{},
+		Servers: specs,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sim.Run(600)
+	s := sim.Snapshot()
+	fmt.Printf("after %.0fs: all correct=%v, consistent=%v\n", s.T, s.AllCorrect, s.Consistent)
+	// Output: after 600s: all correct=true, consistent=true
+}
+
+// Selection classifies sources into survivors and falsetickers before
+// combining.
+func ExampleSelect() {
+	sel, err := disttime.Select([]disttime.SelectionReading{
+		{ID: "good-1", Interval: disttime.FromEstimate(5.0, 1)},
+		{ID: "good-2", Interval: disttime.FromEstimate(5.4, 1)},
+		{ID: "liar", Interval: disttime.FromEstimate(50, 1)},
+	}, disttime.SelectOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("survivors=%v falsetickers=%v tolerated=%d\n",
+		sel.Survivors, sel.Falsetickers, sel.ToleratedFaults)
+	// Output: survivors=[0 1] falsetickers=[2] tolerated=1
+}
+
+// The monotonic wrapper implements the Section 1.1 technique: after a
+// backward set it runs at half speed until the underlying clock catches
+// up, so readings never decrease.
+func ExampleMonotonicClock() {
+	server := disttime.NewDriftingClock(0, 0, 0)
+	mono := disttime.NewMonotonicClock(server, 0.5)
+	fmt.Printf("t=100: %.0f\n", mono.Read(100))
+	server.Set(100, 90) // the time service corrects the clock backward
+	fmt.Printf("t=100 after set-back: %.0f\n", mono.Read(100))
+	fmt.Printf("t=110 (half speed):   %.0f\n", mono.Read(110))
+	fmt.Printf("t=120 (caught up):    %.0f\n", mono.Read(120))
+	// Output:
+	// t=100: 100
+	// t=100 after set-back: 100
+	// t=110 (half speed):   105
+	// t=120 (caught up):    110
+}
+
+// IntersectReadings works directly on absolute time.Time readings.
+func ExampleIntersectReadings() {
+	// See TestIntersectReadings for the time.Time form; the seconds-based
+	// equivalent:
+	a := disttime.FromEstimate(0, 0.100)    // now +/- 100ms
+	b := disttime.FromEstimate(0.05, 0.100) // 50ms ahead +/- 100ms
+	common, ok := a.Intersect(b)
+	fmt.Printf("ok=%v midpoint=%.3f halfwidth=%.3f\n", ok, common.Midpoint(), common.HalfWidth())
+	// Output: ok=true midpoint=0.025 halfwidth=0.075
+}

@@ -1,0 +1,78 @@
+// Faultydrift: the paper's Section 3 recovery experiment, narrated. Two
+// servers share a network; one claims its drift is bounded by one second
+// a day but actually runs about four percent fast (an hour a day). Every
+// time it tries to synchronize it finds itself inconsistent with its
+// neighbor, so it obtains the time from a server on another network —
+// and, as the paper observes, "the time of the inaccurate clock would be
+// very far off by the time it reset."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disttime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		day = 86400.0
+		tau = 600.0 // the servers check each other every 10 minutes
+	)
+	specs := []disttime.ServerSpec{
+		{ // S0: healthy server on the local network.
+			Delta: 2.0 / day, Drift: 1.0 / day,
+			InitialError: 0.5, SyncEvery: tau, Recovery: true,
+		},
+		{ // S1: claims 1 s/day; actually 4% fast.
+			Delta: 1.0 / day, Drift: 0.04,
+			InitialError: 0.5, SyncEvery: tau, Recovery: true,
+		},
+		{ // S2: the reference server on another network.
+			Delta: 2.0 / day, Drift: -1.0 / day,
+			InitialError: 0.5, SyncEvery: tau,
+		},
+	}
+	sim, err := disttime.NewSimulation(disttime.SimulationConfig{
+		Seed:     11,
+		Delay:    disttime.UniformDelay{Max: 0.05},
+		Topology: disttime.Custom,
+		Fn:       disttime.MM{},
+		Servers:  specs,
+	})
+	if err != nil {
+		return err
+	}
+	link := disttime.LinkConfig{Delay: disttime.UniformDelay{Max: 0.05}}
+	for _, pair := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		if err := sim.Net.Connect(sim.Nodes[pair[0]].NetID, sim.Nodes[pair[1]].NetID, link); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("S1 claims a drift bound of 1 s/day but gains 4% (~144 s per hour).")
+	fmt.Println("Watch it swing away and get yanked back by recovery each sync period:")
+	fmt.Printf("\n%8s  %14s  %14s  %8s  %s\n",
+		"t (s)", "S1 offset (s)", "S0 offset (s)", "consistent", "recoveries so far")
+	for t := 600.0; t <= 6*3600; t += 600 {
+		sim.Run(t)
+		s := sim.Snapshot()
+		fmt.Printf("%8.0f  %14.3f  %14.6f  %8v  %d\n",
+			s.T, s.Offset[1], s.Offset[0], s.Consistent, sim.Nodes[1].Recoveries)
+	}
+
+	s := sim.Snapshot()
+	fmt.Printf("\nafter %v simulated hours:\n", s.T/3600)
+	fmt.Printf("  unchecked, S1 would be off by %.0f s\n", 0.04*s.T)
+	fmt.Printf("  with recovery it is off by %.3f s (%d inconsistencies, %d recoveries)\n",
+		s.Offset[1], sim.Nodes[1].Server.Inconsistencies(), sim.Nodes[1].Recoveries)
+	fmt.Printf("  the healthy S0 stayed correct: |offset| %.6f <= E %.6f\n",
+		s.Offset[0], s.E[0])
+	return nil
+}

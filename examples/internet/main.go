@@ -1,0 +1,123 @@
+// Internet: a time service shaped like the Xerox Research Internet the
+// paper's experiments ran on — several local networks of servers joined
+// by slower backbone links between gateways, with heterogeneous clock
+// quality, one server holding an invalid drift bound, and the Section 3
+// recovery heuristic keeping the service usable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"disttime"
+)
+
+const (
+	networks      = 4
+	perNetwork    = 6
+	tau           = 120.0 // sync period
+	duration      = 4 * 3600
+	localDelayMax = 0.003 // fast local Ethernet
+	wideDelayMax  = 0.08  // leased backbone line
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Heterogeneous clock quality: each network has one good oscillator
+	// and progressively worse ones; one server in network 2 claims a far
+	// better bound than its oscillator honors (the paper's failure mode).
+	var specs []disttime.ServerSpec
+	for net := 0; net < networks; net++ {
+		for k := 0; k < perNetwork; k++ {
+			mag := (1 + float64(k)) * 1e-5
+			drift := mag
+			if (net+k)%2 == 1 {
+				drift = -mag
+			}
+			spec := disttime.ServerSpec{
+				Delta:        1.2 * mag,
+				Drift:        drift,
+				InitialError: 0.1,
+				SyncEvery:    tau,
+				Recovery:     true,
+			}
+			if net == 2 && k == perNetwork-1 {
+				// Invalid bound: claims ~72 us/s but runs 2% fast, so it
+				// gains ~2.4 s per sync period and goes inconsistent.
+				spec.Drift = 0.02
+			}
+			specs = append(specs, spec)
+		}
+	}
+
+	sim, err := disttime.NewSimulation(disttime.SimulationConfig{
+		Seed:     7,
+		Delay:    disttime.UniformDelay{Max: localDelayMax},
+		Topology: disttime.Custom,
+		Fn:       disttime.MM{},
+		Servers:  specs,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Wire the internet: full mesh inside each network over fast links,
+	// gateways (first server of each network) in a ring over slow links.
+	local := disttime.LinkConfig{Delay: disttime.UniformDelay{Max: localDelayMax}}
+	wide := disttime.LinkConfig{Delay: disttime.UniformDelay{Min: 0.01, Max: wideDelayMax}, Loss: 0.02}
+	id := func(net, k int) int { return net*perNetwork + k }
+	for net := 0; net < networks; net++ {
+		for a := 0; a < perNetwork; a++ {
+			for b := a + 1; b < perNetwork; b++ {
+				if err := sim.Net.Connect(sim.Nodes[id(net, a)].NetID, sim.Nodes[id(net, b)].NetID, local); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for net := 0; net < networks; net++ {
+		next := (net + 1) % networks
+		if err := sim.Net.Connect(sim.Nodes[id(net, 0)].NetID, sim.Nodes[id(next, 0)].NetID, wide); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("internet time service: %d networks x %d servers, tau=%.0fs, xi=%.3fs\n",
+		networks, perNetwork, tau, sim.Net.Xi())
+	fmt.Printf("server %d holds an invalid drift bound (claims 72 us/s, runs 2%% fast)\n\n", id(2, perNetwork-1))
+
+	samples, err := sim.RunSampled(duration, 1800)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s  %14s  %14s  %12s  %s\n",
+		"t (s)", "worst |C-t| (s)", "healthy worst", "E_M (s)", "groups")
+	faulty := id(2, perNetwork-1)
+	for _, s := range samples {
+		healthyWorst := 0.0
+		for i, off := range s.Offset {
+			if i == faulty {
+				continue
+			}
+			healthyWorst = math.Max(healthyWorst, math.Abs(off))
+		}
+		fmt.Printf("%8.0f  %14.4f  %14.4f  %12.4f  %d\n",
+			s.T, s.MaxAbsOffset, healthyWorst, s.MinError, s.Groups)
+	}
+
+	recoveries, inconsistencies := 0, 0
+	for _, n := range sim.Nodes {
+		recoveries += n.Recoveries
+		inconsistencies += n.Server.Inconsistencies()
+	}
+	fmt.Printf("\n%d inconsistencies observed, %d recoveries performed\n", inconsistencies, recoveries)
+	fmt.Printf("faulty server: %d resets, %d recoveries — repeatedly pulled back toward the service\n",
+		sim.Nodes[faulty].Resets, sim.Nodes[faulty].Recoveries)
+	return nil
+}

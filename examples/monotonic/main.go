@@ -1,0 +1,50 @@
+// Monotonic: the Section 1.1 technique for clients that need a locally
+// monotonic clock. The synchronization algorithms freely set a server's
+// clock backward; a monotonic view "temporarily runs more slowly when the
+// nonmonotonic clock is set backwards" and rejoins it once the underlying
+// clock catches up — so event ordering never sees time run in reverse.
+package main
+
+import (
+	"fmt"
+
+	"disttime"
+)
+
+func main() {
+	// A server clock that runs 2% fast and gets corrected (set backward)
+	// by its time service every 40 s.
+	server := disttime.NewDriftingClock(0, 0, 0.02)
+	mono := disttime.NewMonotonicClock(server, 0.5)
+
+	fmt.Println("server clock runs 2% fast; the service sets it back 4s every 40s")
+	fmt.Println("the monotonic view runs at half speed while catching up, never backward:")
+	fmt.Printf("\n%8s  %12s  %12s  %10s\n", "t (s)", "server clock", "monotonic", "view ahead")
+
+	var lastMono float64
+	violations := 0
+	events := 0
+	var lastStamp float64
+	for t := 0.0; t <= 120; t += 2 {
+		if t > 0 && int(t)%40 == 0 {
+			// The time service corrects the fast clock backward, past the
+			// last monotonic reading.
+			server.Set(t, server.Read(t)-4)
+		}
+		m := mono.Read(t)
+		if m < lastMono {
+			violations++
+		}
+		lastMono = m
+		fmt.Printf("%8.0f  %12.3f  %12.3f  %10.3f\n", t, server.Read(t), m, mono.Offset())
+
+		// Timestamp an event stream with the monotonic view.
+		stamp := mono.Read(t)
+		if stamp >= lastStamp {
+			events++
+		}
+		lastStamp = stamp
+	}
+
+	fmt.Printf("\nmonotonicity violations: %d (events stamped in order: %d)\n", violations, events)
+}

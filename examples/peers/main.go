@@ -1,0 +1,102 @@
+// Peers: a small time service built from full peers over real UDP. One
+// reference server anchors the timeline; three peers each serve time from
+// a disciplined software clock while synchronizing against the reference
+// and each other — the composition the paper's time servers run on the
+// Xerox internet, on loopback.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"disttime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The reference: an OS-clock server trusted to 5 ms.
+	refSrc, err := disttime.NewSystemClock(5*time.Millisecond, 100)
+	if err != nil {
+		return err
+	}
+	ref, err := disttime.NewUDPServer("127.0.0.1:0", 100, refSrc)
+	if err != nil {
+		return err
+	}
+	defer ref.Close()
+	fmt.Printf("reference server on %v\n", ref.Addr())
+
+	// Three peers. Each knows the reference and the peers started before
+	// it, forming a partial mesh; all serve time themselves.
+	var peers []*disttime.Peer
+	addrs := []string{ref.Addr().String()}
+	for i := 1; i <= 3; i++ {
+		synced := make(chan struct{}, 1)
+		peer, err := disttime.NewPeer(disttime.PeerConfig{
+			Addr:     "127.0.0.1:0",
+			ID:       uint64(i),
+			DriftPPM: 100,
+			Peers:    append([]string(nil), addrs...),
+			Interval: 200 * time.Millisecond,
+			Timeout:  time.Second,
+			OnSync: func(r disttime.SyncReport) {
+				if r.Err == nil {
+					select {
+					case synced <- struct{}{}:
+					default:
+					}
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer peer.Close()
+		select {
+		case <-synced:
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("peer %d never synchronized", i)
+		}
+		peers = append(peers, peer)
+		addrs = append(addrs, peer.Addr().String())
+		fmt.Printf("peer %d on %v (syncing against %d upstreams)\n", i, peer.Addr(), len(addrs)-1)
+	}
+
+	// A client queries the whole service — reference and peers alike —
+	// and intersects the answers.
+	client := disttime.NewUDPClient(time.Second, nil)
+	ms, err := client.QueryMany(addrs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nservice answers:")
+	var readings []disttime.TimeReading
+	for _, m := range ms {
+		fmt.Printf("  server %3d: C=%s E=%-12v RTT=%v\n",
+			m.ServerID, m.C.Format("15:04:05.000000"), m.E, m.RTT.Round(time.Microsecond))
+		readings = append(readings, disttime.TimeReading{C: m.C, E: m.E + m.RTT})
+	}
+	c, e, ok := disttime.IntersectReadings(readings)
+	if !ok {
+		return fmt.Errorf("service inconsistent")
+	}
+	fmt.Printf("\nintersected: %s +/- %v (from %d servers)\n",
+		c.Format("15:04:05.000000"), e, len(readings))
+
+	// Peers carry chained error bounds: reference error + transit + their
+	// own drift allowance. The bound covers the actual offset.
+	fmt.Println("\npeer clock quality:")
+	for i, p := range peers {
+		now, maxErr, _ := p.Clock().Now()
+		off := now.Sub(time.Now())
+		fmt.Printf("  peer %d: offset %-12v bound %-12v rounds %d, served %d requests\n",
+			i+1, off.Round(time.Microsecond), maxErr, p.Rounds(), p.Requests())
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module disttime
+
+go 1.23

@@ -1,0 +1,76 @@
+package clock
+
+// Monotonic derives a locally monotonic clock from a nonmonotonic one,
+// implementing the technique of Section 1.1: the synchronization algorithms
+// may freely set a server's clock backward, and "a monotonic clock may be
+// implemented based on a nonmonotonic clock by temporarily running the
+// monotonic clock more slowly when the nonmonotonic clock is set
+// backwards."
+//
+// While the monotonic view is ahead of the underlying clock (because the
+// underlying clock was set backward), the view advances at CatchupRate
+// clock-seconds per underlying clock-second until the underlying clock
+// catches up; thereafter it tracks the underlying clock exactly.
+type Monotonic struct {
+	inner       Clock
+	catchupRate float64
+
+	started   bool
+	lastInner float64
+	mono      float64
+}
+
+// NewMonotonic wraps inner. catchupRate must lie in (0, 1); it is the rate
+// at which the monotonic view advances, relative to the underlying clock,
+// while waiting for the underlying clock to catch up. A rate of 0.5 halves
+// apparent time until synchronization with the underlying clock is
+// restored.
+func NewMonotonic(inner Clock, catchupRate float64) *Monotonic {
+	if catchupRate <= 0 || catchupRate >= 1 {
+		catchupRate = 0.5
+	}
+	return &Monotonic{inner: inner, catchupRate: catchupRate}
+}
+
+// Read returns the monotonic clock value at real time t. Successive reads
+// never decrease, whatever happens to the underlying clock.
+func (c *Monotonic) Read(t float64) float64 {
+	innerNow := c.inner.Read(t)
+	if !c.started {
+		c.started = true
+		c.lastInner = innerNow
+		c.mono = innerNow
+		return c.mono
+	}
+	delta := innerNow - c.lastInner
+	gap := c.mono - c.lastInner
+	c.lastInner = innerNow
+	if delta < 0 {
+		// The underlying clock was set backward between reads; the
+		// monotonic view holds still and waits for it.
+		return c.mono
+	}
+	if gap > 0 {
+		// Catching up: the view advances at catchupRate while it is ahead,
+		// so the gap shrinks by (1-catchupRate) per underlying second. If
+		// the underlying clock closes the gap within this interval, the
+		// view locks back onto it.
+		if (1-c.catchupRate)*delta >= gap {
+			c.mono = innerNow
+		} else {
+			c.mono += c.catchupRate * delta
+		}
+		return c.mono
+	}
+	c.mono = innerNow
+	return c.mono
+}
+
+// Offset returns how far the monotonic view is ahead of the underlying
+// clock as of the last Read; zero when fully caught up.
+func (c *Monotonic) Offset() float64 {
+	if !c.started {
+		return 0
+	}
+	return c.mono - c.lastInner
+}

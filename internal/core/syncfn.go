@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// SyncFunc is a synchronization function F in the paper's Section 1.2
+// characterization: each server periodically computes
+//
+//	C_i(t) <- F(C_i1(t), C_i2(t), ..., C_ik(t))
+//
+// over the replies it collected. Implementations mutate the server's clock
+// and error bookkeeping; the service layer supplies replies in arrival
+// order (increasing RTT for a simultaneous broadcast, as in the Theorem 2
+// analysis).
+type SyncFunc interface {
+	// Name identifies the function in experiment output.
+	Name() string
+	// Sync processes the replies collected at real time t.
+	Sync(s *Server, t float64, replies []Reply) Result
+}
+
+// Result reports what a synchronization pass did.
+type Result struct {
+	// Reset is true when the server's clock was set.
+	Reset bool
+	// Accepted counts replies that triggered or contributed to a reset.
+	Accepted int
+	// Inconsistent lists indices of replies found inconsistent with the
+	// server's interval. Non-empty means at least one of the two servers
+	// involved is incorrect and the Section 3 recovery policy should run.
+	Inconsistent []int
+}
+
+// MM is algorithm MM: minimization of the maximum error. Rule MM-2 is
+// applied to each reply in arrival order: a consistent reply whose
+// transit-charged error E_j + (1+delta_i) xi^i_j is at most the server's
+// current error causes a reset to that neighbor's clock.
+type MM struct{}
+
+// Name returns "MM".
+func (MM) Name() string { return "MM" }
+
+// Sync applies rule MM-2 to each reply in order.
+func (MM) Sync(s *Server, t float64, replies []Reply) Result {
+	var res Result
+	for i, r := range replies {
+		if !s.ConsistentWith(t, r) {
+			s.noteInconsistent()
+			res.Inconsistent = append(res.Inconsistent, i)
+			continue
+		}
+		c, _, lead := s.effective(r)
+		if lead <= s.ErrorAt(t) {
+			s.SetClock(t, c, lead)
+			res.Reset = true
+			res.Accepted++
+		}
+	}
+	return res
+}
+
+// IM is algorithm IM: intersection of the time intervals. Rule IM-2
+// transforms each reply <C_j, E_j> into the offset interval
+//
+//	[T_j, L_j] = [C_j - E_j - C_i,  C_j + E_j + (1+delta_i) xi^i_j - C_i]
+//
+// and intersects them all into [a, b]. If the intersection is non-empty the
+// service is consistent and the server resets to its midpoint:
+// epsilon <- (b-a)/2, C_i <- C_i + (a+b)/2.
+type IM struct {
+	// ExcludeSelf drops the server's own interval from the intersection.
+	// The paper's rule IM-2 intersects replies only, but its Theorem 5
+	// proof notes the result is the intersection with the server's own
+	// (still correct) interval; including self is both safer and the
+	// default.
+	ExcludeSelf bool
+	// DropInconsistent pre-filters replies that are individually
+	// inconsistent with the server's own interval instead of failing the
+	// whole pass, mirroring MM-2's "any reply that is inconsistent with
+	// S_i is ignored". The remaining replies must still mutually
+	// intersect for a reset to happen.
+	DropInconsistent bool
+	// FloorError, when positive, is the smallest inherited error a reset
+	// may leave: the derived interval's half-width is clamped up to it.
+	// This is NTP's minimum-dispersion hedge against the Figure 3 hazard
+	// — a tight consistent-but-wrong interval (a neighbor drifting just
+	// beyond its claimed bound) cannot force the server's error below
+	// the floor, so small poisonings stay inside the reported interval.
+	FloorError float64
+}
+
+// Name returns "IM".
+func (IM) Name() string { return "IM" }
+
+// Sync applies rule IM-2 over the reply set.
+func (f IM) Sync(s *Server, t float64, replies []Reply) Result {
+	var res Result
+	ci := s.Read(t)
+	a, b := math.Inf(-1), math.Inf(1)
+	if !f.ExcludeSelf {
+		ei := s.ErrorAt(t)
+		a, b = -ei, ei
+	}
+	used := 0
+	for i, r := range replies {
+		if f.DropInconsistent && !s.ConsistentWith(t, r) {
+			s.noteInconsistent()
+			res.Inconsistent = append(res.Inconsistent, i)
+			continue
+		}
+		c, trail, lead := s.effective(r)
+		lo := c - trail - ci
+		hi := c + lead - ci
+		a = math.Max(a, lo)
+		b = math.Min(b, hi)
+		used++
+	}
+	if used == 0 || b < a || math.IsInf(a, -1) {
+		// Empty intersection: the time service is inconsistent (or there
+		// was nothing to intersect). No reset.
+		if b < a && len(res.Inconsistent) == 0 {
+			s.noteInconsistent()
+			res.Inconsistent = inconsistentIndices(len(replies))
+		}
+		return res
+	}
+	eps := (b - a) / 2
+	if f.FloorError > eps {
+		eps = f.FloorError
+	}
+	s.SetClock(t, ci+(a+b)/2, eps)
+	res.Reset = true
+	res.Accepted = used
+	return res
+}
+
+func inconsistentIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// LamportMax is the baseline of [Lamport 78]: the synchronization function
+// is the maximum of the clocks, which preserves local monotonicity. The
+// server adopts the largest consistent reply clock that exceeds its own;
+// error bookkeeping follows the adopted server as in MM.
+type LamportMax struct{}
+
+// Name returns "max".
+func (LamportMax) Name() string { return "max" }
+
+// Sync adopts the maximum clock value among self and consistent replies.
+func (LamportMax) Sync(s *Server, t float64, replies []Reply) Result {
+	var res Result
+	bestC := s.Read(t)
+	bestIdx := -1
+	for i, r := range replies {
+		if !s.ConsistentWith(t, r) {
+			s.noteInconsistent()
+			res.Inconsistent = append(res.Inconsistent, i)
+			continue
+		}
+		if c, _, _ := s.effective(r); c > bestC {
+			bestC = c
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 {
+		c, _, lead := s.effective(replies[bestIdx])
+		s.SetClock(t, c, lead)
+		res.Reset = true
+		res.Accepted = 1
+	}
+	return res
+}
+
+// Median is the baseline of [Lamport 82]: the synchronization function is
+// the median clock value of self and the consistent replies. The adopted
+// error is the transit-charged error of the median element (the server's
+// own error if self is the median).
+type Median struct{}
+
+// Name returns "median".
+func (Median) Name() string { return "median" }
+
+// Sync adopts the median clock value.
+func (Median) Sync(s *Server, t float64, replies []Reply) Result {
+	var res Result
+	type cand struct {
+		c   float64
+		err float64
+		own bool
+	}
+	cands := []cand{{c: s.Read(t), err: s.ErrorAt(t), own: true}}
+	for i, r := range replies {
+		if !s.ConsistentWith(t, r) {
+			s.noteInconsistent()
+			res.Inconsistent = append(res.Inconsistent, i)
+			continue
+		}
+		c, _, lead := s.effective(r)
+		cands = append(cands, cand{c: c, err: lead})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].c < cands[j].c })
+	med := cands[(len(cands)-1)/2]
+	if med.own {
+		return res
+	}
+	s.SetClock(t, med.c, med.err)
+	res.Reset = true
+	res.Accepted = 1
+	return res
+}
+
+// Mean is the baseline mean-of-clocks function mentioned with [Lamport 82].
+// The server sets its clock to the average of its own and every consistent
+// reply clock; the inherited error is the average of the corresponding
+// transit-charged errors (a heuristic: averaging has no principled
+// worst-case bound, which is part of why the paper's interval formulation
+// is interesting).
+type Mean struct{}
+
+// Name returns "mean".
+func (Mean) Name() string { return "mean" }
+
+// Sync adopts the mean clock value of self and consistent replies.
+func (Mean) Sync(s *Server, t float64, replies []Reply) Result {
+	var res Result
+	sumC := s.Read(t)
+	sumE := s.ErrorAt(t)
+	n := 1
+	for i, r := range replies {
+		if !s.ConsistentWith(t, r) {
+			s.noteInconsistent()
+			res.Inconsistent = append(res.Inconsistent, i)
+			continue
+		}
+		c, _, lead := s.effective(r)
+		sumC += c
+		sumE += lead
+		n++
+	}
+	if n == 1 {
+		return res
+	}
+	s.SetClock(t, sumC/float64(n), sumE/float64(n))
+	res.Reset = true
+	res.Accepted = n - 1
+	return res
+}

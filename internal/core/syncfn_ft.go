@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sort"
+
+	"disttime/internal/interval"
+)
+
+// This file extends the paper's synchronization functions toward failing
+// clocks, the direction the paper defers to [Marzullo 83]: a trimmed
+// fault-tolerant mean in the style of [Lamport 82], and the
+// majority-intersection function (Marzullo's algorithm as a
+// synchronization function) that tolerates falsetickers where plain rule
+// IM-2 reports inconsistency and refuses to act.
+
+// TrimmedMean is the fault-tolerant averaging function of [Lamport 82]:
+// the F lowest and F highest clock values among self and the consistent
+// replies are discarded and the clock is set to the mean of the rest. It
+// tolerates up to F arbitrary clock values.
+type TrimmedMean struct {
+	// F is how many extreme values to discard from each end. With fewer
+	// than 2F+1 candidates the pass is a no-op.
+	F int
+}
+
+// Name returns "trimmed-mean".
+func (TrimmedMean) Name() string { return "trimmed-mean" }
+
+// Sync adopts the trimmed mean of self and consistent replies.
+func (tm TrimmedMean) Sync(s *Server, t float64, replies []Reply) Result {
+	var res Result
+	type cand struct {
+		c   float64
+		err float64
+		own bool
+	}
+	cands := []cand{{c: s.Read(t), err: s.ErrorAt(t), own: true}}
+	for i, r := range replies {
+		if !s.ConsistentWith(t, r) {
+			s.noteInconsistent()
+			res.Inconsistent = append(res.Inconsistent, i)
+			continue
+		}
+		c, _, lead := s.effective(r)
+		cands = append(cands, cand{c: c, err: lead})
+	}
+	f := tm.F
+	if f < 0 {
+		f = 0
+	}
+	if len(cands) < 2*f+1 || len(cands) < 2 {
+		return res
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].c < cands[j].c })
+	kept := cands[f : len(cands)-f]
+	var sumC, sumE float64
+	for _, k := range kept {
+		sumC += k.c
+		sumE += k.err
+	}
+	s.SetClock(t, sumC/float64(len(kept)), sumE/float64(len(kept)))
+	res.Reset = true
+	res.Accepted = len(kept)
+	return res
+}
+
+// SelectIM is the intersection function hardened against falsetickers:
+// instead of requiring every interval to intersect (rule IM-2, which
+// refuses to act on an inconsistent service), it finds the region covered
+// by the largest number of intervals — Marzullo's algorithm — and, when
+// that agreement reaches a majority, resets to its midpoint. This is the
+// [Marzullo 83] extension running inside the service loop, and the shape
+// NTP's clock selection later took.
+type SelectIM struct {
+	// MinSurvivors is the required agreement; zero means a strict
+	// majority of the considered intervals (replies plus self).
+	MinSurvivors int
+	// ExcludeSelf drops the server's own interval from consideration.
+	ExcludeSelf bool
+	// FloorError clamps the derived error from below, as in IM.
+	FloorError float64
+}
+
+// Name returns "select-IM".
+func (SelectIM) Name() string { return "select-IM" }
+
+// Sync finds the majority intersection and adopts its midpoint.
+func (f SelectIM) Sync(s *Server, t float64, replies []Reply) Result {
+	var res Result
+	ci := s.Read(t)
+	var ivs []interval.Interval
+	if !f.ExcludeSelf {
+		ei := s.ErrorAt(t)
+		ivs = append(ivs, interval.FromEstimate(ci, ei))
+	}
+	for _, r := range replies {
+		c, trail, lead := s.effective(r)
+		ivs = append(ivs, interval.Interval{Lo: c - trail, Hi: c + lead})
+	}
+	if len(ivs) == 0 {
+		return res
+	}
+	need := f.MinSurvivors
+	if need <= 0 {
+		need = len(ivs)/2 + 1
+	}
+	best := interval.Marzullo(ivs)
+	if best.Count < need {
+		// No sufficient agreement: the service is too inconsistent to
+		// act. Flag every reply so the recovery policy can run.
+		s.noteInconsistent()
+		res.Inconsistent = inconsistentIndices(len(replies))
+		return res
+	}
+	// Tighten to the full common region of the agreeing intervals and
+	// classify the replies outside it.
+	var member []interval.Interval
+	for _, iv := range ivs {
+		if interval.Consistent(iv, best.Interval) {
+			member = append(member, iv)
+		}
+	}
+	common, ok := interval.IntersectAll(member)
+	if !ok {
+		common = best.Interval
+	}
+	selfIdx := 0
+	if f.ExcludeSelf {
+		selfIdx = -1 // replies start at ivs[0]
+	}
+	for i := range replies {
+		if !interval.Consistent(ivs[i+1+selfIdx], best.Interval) {
+			s.noteInconsistent()
+			res.Inconsistent = append(res.Inconsistent, i)
+		}
+	}
+	eps := common.HalfWidth()
+	if f.FloorError > eps {
+		eps = f.FloorError
+	}
+	s.SetClock(t, common.Midpoint(), eps)
+	res.Reset = true
+	res.Accepted = best.Count
+	return res
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"disttime/internal/interval"
+)
+
+// This file renders interval diagrams as text, reproducing the paper's
+// figures as figures: labeled intervals on a shared real-time axis with
+// the correct time marked, as in Figures 1-4. cmd/timesim -figures prints
+// all four.
+
+// DiagramRow is one labeled interval in a diagram.
+type DiagramRow struct {
+	// Label names the row (e.g. "S1" or "S2 @ t=3600").
+	Label string
+	// Interval is the row's extent on the time axis.
+	Interval interval.Interval
+}
+
+// Diagram is a renderable set of intervals over a common axis.
+type Diagram struct {
+	// Title is printed above the axis.
+	Title string
+	// Truth, when not NaN, marks the correct time with a vertical line.
+	Truth float64
+	// Rows are rendered top to bottom.
+	Rows []DiagramRow
+	// Width is the rendered axis width in characters (default 60).
+	Width int
+}
+
+// Render draws the diagram:
+//
+//	S1  |--------+--------|
+//	S2       |---+---|
+//	         ^ correct time
+//
+// Each interval is drawn to scale between the extremes of all rows (and
+// the truth marker); the midpoint is marked '+', edges '|', and the
+// correct time with a '^' gutter line beneath.
+func (d Diagram) Render() string {
+	width := d.Width
+	if width <= 0 {
+		width = 60
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range d.Rows {
+		lo = math.Min(lo, r.Interval.Lo)
+		hi = math.Max(hi, r.Interval.Hi)
+	}
+	if !math.IsNaN(d.Truth) {
+		lo = math.Min(lo, d.Truth)
+		hi = math.Max(hi, d.Truth)
+	}
+	if math.IsInf(lo, 1) || hi <= lo {
+		// Degenerate: nothing meaningful to scale.
+		lo, hi = 0, 1
+	}
+	span := hi - lo
+	pad := span * 0.04
+	lo, hi = lo-pad, hi+pad
+	span = hi - lo
+	col := func(v float64) int {
+		c := int(math.Round((v - lo) / span * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+
+	labelWidth := 0
+	for _, r := range d.Rows {
+		if len(r.Label) > labelWidth {
+			labelWidth = len(r.Label)
+		}
+	}
+
+	var b strings.Builder
+	if d.Title != "" {
+		fmt.Fprintf(&b, "%s\n", d.Title)
+	}
+	for _, r := range d.Rows {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		start, end := col(r.Interval.Lo), col(r.Interval.Hi)
+		for i := start; i <= end; i++ {
+			line[i] = '-'
+		}
+		line[start], line[end] = '|', '|'
+		if mid := col(r.Interval.Midpoint()); line[mid] == '-' {
+			line[mid] = '+'
+		}
+		if !math.IsNaN(d.Truth) {
+			t := col(d.Truth)
+			switch line[t] {
+			case '-':
+				line[t] = ':'
+			case ' ':
+				line[t] = '.'
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %s\n", labelWidth, r.Label, string(line))
+	}
+	if !math.IsNaN(d.Truth) {
+		gutter := make([]byte, width)
+		for i := range gutter {
+			gutter[i] = ' '
+		}
+		gutter[col(d.Truth)] = '^'
+		fmt.Fprintf(&b, "%-*s  %s\n", labelWidth, "", string(gutter))
+		fmt.Fprintf(&b, "%-*s  %s\n", labelWidth, "",
+			centerAt(fmt.Sprintf("correct time = %.4g", d.Truth), col(d.Truth), width))
+	}
+	return b.String()
+}
+
+// centerAt places text as close as possible to column c in a field of
+// the given width.
+func centerAt(text string, c, width int) string {
+	start := c - len(text)/2
+	if start < 0 {
+		start = 0
+	}
+	if start+len(text) > width {
+		start = width - len(text)
+		if start < 0 {
+			start = 0
+		}
+	}
+	return strings.Repeat(" ", start) + text
+}
+
+// Figures renders the paper's four figures as interval diagrams,
+// regenerated from the same configurations the experiments use.
+func Figures() string {
+	var b strings.Builder
+
+	// Figure 1: growth of maximum errors — three servers at three epochs.
+	servers := []struct {
+		delta, drift float64
+	}{
+		{1e-5, 0.8e-5}, {3e-5, -2.5e-5}, {6e-5, 5e-5},
+	}
+	fig1 := Diagram{
+		Title: "Figure 1 — Growth of Maximum Errors (t = 7200 s; offsets from the correct time, seconds)",
+		Truth: 0,
+		Width: 64,
+	}
+	for _, t := range []float64{0, 3600, 7200} {
+		for i, s := range servers {
+			c := s.drift * t
+			e := 0.05 + s.delta*t
+			fig1.Rows = append(fig1.Rows, DiagramRow{
+				Label:    fmt.Sprintf("S%d t=%4.0f", i+1, t),
+				Interval: interval.FromEstimate(c, e),
+			})
+		}
+	}
+	b.WriteString(fig1.Render())
+	b.WriteString("\n")
+
+	// Figure 2: intersections — nested and staggered.
+	nested := Diagram{
+		Title: "Figure 2 (left) — one interval inside the other: intersection = the smaller",
+		Truth: math.NaN(),
+		Width: 64,
+		Rows: []DiagramRow{
+			{Label: "S1", Interval: interval.FromEstimate(100, 5)},
+			{Label: "S2", Interval: interval.FromEstimate(100.5, 1.5)},
+			{Label: "S1^S2", Interval: interval.FromEstimate(100.5, 1.5)},
+		},
+	}
+	b.WriteString(nested.Render())
+	b.WriteString("\n")
+	i1 := interval.FromEstimate(99, 3)
+	i2 := interval.FromEstimate(102, 3)
+	common, _ := i1.Intersect(i2)
+	staggered := Diagram{
+		Title: "Figure 2 (right) — edges from different servers: intersection smaller than both",
+		Truth: math.NaN(),
+		Width: 64,
+		Rows: []DiagramRow{
+			{Label: "S1", Interval: i1},
+			{Label: "S2", Interval: i2},
+			{Label: "S1^S2", Interval: common},
+		},
+	}
+	b.WriteString(staggered.Render())
+	b.WriteString("\n")
+
+	// Figure 3: the consistent state where IM fails.
+	s2 := interval.FromEstimate(95, 4)
+	s3 := interval.FromEstimate(99.5, 2)
+	s2s3, _ := s2.Intersect(s3)
+	fig3 := Diagram{
+		Title: "Figure 3 — consistent but only S1 and S3 correct: IM adopts the incorrect S2^S3",
+		Truth: 100,
+		Width: 64,
+		Rows: []DiagramRow{
+			{Label: "S1", Interval: interval.FromEstimate(96, 6)},
+			{Label: "S2", Interval: s2},
+			{Label: "S3", Interval: s3},
+			{Label: "S2^S3", Interval: s2s3},
+		},
+	}
+	b.WriteString(fig3.Render())
+	b.WriteString("\n")
+
+	// Figure 4: the inconsistent six-server service (three groups, S2
+	// shared).
+	ivs := []interval.Interval{
+		{Lo: 0, Hi: 3}, {Lo: 2.5, Hi: 6}, {Lo: 5, Hi: 9},
+		{Lo: 5.5, Hi: 8}, {Lo: 10, Hi: 14}, {Lo: 11, Hi: 15},
+	}
+	fig4 := Diagram{
+		Title: "Figure 4 — an inconsistent six-server service: three consistency groups",
+		Truth: math.NaN(),
+		Width: 64,
+	}
+	for i, iv := range ivs {
+		fig4.Rows = append(fig4.Rows, DiagramRow{Label: fmt.Sprintf("S%d", i+1), Interval: iv})
+	}
+	for gi, g := range interval.ConsistencyGroups(ivs) {
+		fig4.Rows = append(fig4.Rows, DiagramRow{
+			Label:    fmt.Sprintf("group %d", gi+1),
+			Interval: g.Intersection,
+		})
+	}
+	b.WriteString(fig4.Render())
+	return b.String()
+}

@@ -1,0 +1,290 @@
+// Package interval implements the interval algebra underlying the time
+// service of Marzullo & Owicki, "Maintaining the Time in a Distributed
+// System" (Stanford CSL TR 83-247, PODC 1983).
+//
+// A time server answers a request with a pair <C, E>: its clock value C and
+// a bound E on its maximum error. The pair denotes the real-time interval
+// [C-E, C+E], which is guaranteed to contain the correct time while the
+// server's drift bound is valid. This package provides:
+//
+//   - the Interval type and its algebra (intersection, consistency),
+//   - N-way intersection (the basis of algorithm IM),
+//   - the fault-tolerant "best intersection" sweep — Marzullo's algorithm —
+//     which finds the interval contained in the largest number of source
+//     intervals (the [Marzullo 83] extension used by NTP),
+//   - consistency-group decomposition of an inconsistent service (Figure 4).
+//
+// All times are float64 seconds on the real-time axis. The package is pure:
+// no goroutines, no allocation beyond returned slices.
+package interval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInverted is returned when an interval's lower edge exceeds its upper
+// edge.
+var ErrInverted = errors.New("interval: lower edge exceeds upper edge")
+
+// Interval is a closed interval [Lo, Hi] on the real-time axis, in seconds.
+// In the paper's vocabulary Lo is the trailing edge (C-E) and Hi the leading
+// edge (C+E).
+type Interval struct {
+	Lo float64
+	Hi float64
+}
+
+// New returns the interval [lo, hi]. It returns ErrInverted if lo > hi.
+func New(lo, hi float64) (Interval, error) {
+	if lo > hi {
+		return Interval{}, fmt.Errorf("%w: [%v, %v]", ErrInverted, lo, hi)
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
+}
+
+// FromEstimate returns the interval [c-e, c+e] for a clock reading c with
+// maximum error e. A negative error is treated as zero.
+func FromEstimate(c, e float64) Interval {
+	if e < 0 {
+		e = 0
+	}
+	return Interval{Lo: c - e, Hi: c + e}
+}
+
+// Midpoint returns the center of the interval, the clock value C of the
+// equivalent <C, E> pair.
+func (iv Interval) Midpoint() float64 { return iv.Lo + (iv.Hi-iv.Lo)/2 }
+
+// HalfWidth returns the maximum error E of the equivalent <C, E> pair.
+func (iv Interval) HalfWidth() float64 { return (iv.Hi - iv.Lo) / 2 }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Valid reports whether Lo <= Hi.
+func (iv Interval) Valid() bool { return iv.Lo <= iv.Hi }
+
+// Contains reports whether t lies within the closed interval.
+func (iv Interval) Contains(t float64) bool { return iv.Lo <= t && t <= iv.Hi }
+
+// ContainsInterval reports whether other is a subset of iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// Shift returns the interval translated by d.
+func (iv Interval) Shift(d float64) Interval {
+	return Interval{Lo: iv.Lo + d, Hi: iv.Hi + d}
+}
+
+// Grow returns the interval with each edge moved outward by e (inward for
+// negative e; the result may be inverted).
+func (iv Interval) Grow(e float64) Interval {
+	return Interval{Lo: iv.Lo - e, Hi: iv.Hi + e}
+}
+
+// Intersect returns the intersection of two intervals, per equation 12 of
+// the paper:
+//
+//	[max(Ci-Ei, Cj-Ej) .. min(Ci+Ei, Cj+Ej)]
+//
+// The boolean result is false when the intervals are disjoint (the servers
+// are inconsistent); the returned interval is then inverted and should not
+// be used as a time estimate.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	out := Interval{Lo: math.Max(iv.Lo, other.Lo), Hi: math.Min(iv.Hi, other.Hi)}
+	return out, out.Lo <= out.Hi
+}
+
+// Consistent reports whether two server intervals mutually admit a correct
+// time, i.e. whether they overlap. For <Ci, Ei> and <Cj, Ej> this is the
+// paper's consistency predicate |Ci - Cj| <= Ei + Ej.
+func Consistent(a, b Interval) bool {
+	return a.Lo <= b.Hi && b.Lo <= a.Hi
+}
+
+// String renders the interval as the pair <C, E> followed by its edges.
+func (iv Interval) String() string {
+	return fmt.Sprintf("<C=%.6g, E=%.6g>[%.6g, %.6g]", iv.Midpoint(), iv.HalfWidth(), iv.Lo, iv.Hi)
+}
+
+// IntersectAll returns the intersection of all intervals and whether it is
+// non-empty. An empty input yields (zero Interval, false): with no evidence
+// there is no defined estimate. A service whose intervals have a non-empty
+// common intersection is consistent in the paper's sense.
+func IntersectAll(ivs []Interval) (Interval, bool) {
+	if len(ivs) == 0 {
+		return Interval{}, false
+	}
+	out := ivs[0]
+	for _, iv := range ivs[1:] {
+		var ok bool
+		if out, ok = out.Intersect(iv); !ok {
+			return out, false
+		}
+	}
+	return out, true
+}
+
+// edge is one endpoint of an interval for the sweep algorithms.
+type edge struct {
+	at    float64
+	delta int // +1 for a lower edge, -1 for an upper edge
+	idx   int // index of the source interval
+}
+
+// sortEdges orders sweep endpoints by position; at equal positions lower
+// edges come first so that intervals sharing only a single point still count
+// as intersecting (intervals are closed).
+func sortEdges(edges []edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta > edges[j].delta
+	})
+}
+
+// Best is the result of Marzullo's fault-tolerant intersection sweep.
+type Best struct {
+	// Interval is the leftmost maximal region covered by Count sources.
+	Interval Interval
+	// Count is the largest number of source intervals sharing a common
+	// point.
+	Count int
+}
+
+// Marzullo computes the interval contained in the largest number of source
+// intervals — the fault-tolerant intersection of [Marzullo 83] adopted by
+// NTP for clock selection. With k of n intervals correct, any point covered
+// by more than n-k intervals is covered by at least one correct interval.
+//
+// It runs in O(n log n). For an empty input it returns a zero Best.
+// Inverted inputs are ignored.
+func Marzullo(ivs []Interval) Best {
+	edges := make([]edge, 0, 2*len(ivs))
+	for i, iv := range ivs {
+		if !iv.Valid() {
+			continue
+		}
+		edges = append(edges, edge{at: iv.Lo, delta: +1, idx: i}, edge{at: iv.Hi, delta: -1, idx: i})
+	}
+	if len(edges) == 0 {
+		return Best{}
+	}
+	sortEdges(edges)
+
+	var best Best
+	depth := 0
+	for i, e := range edges {
+		depth += e.delta
+		if e.delta > 0 && depth > best.Count {
+			best.Count = depth
+			best.Interval = Interval{Lo: e.at, Hi: edges[i+1].at}
+		}
+	}
+	return best
+}
+
+// MarzulloAtLeast returns the leftmost maximal interval covered by at least
+// m source intervals, and whether one exists. m must be positive.
+func MarzulloAtLeast(ivs []Interval, m int) (Interval, bool) {
+	if m <= 0 {
+		return Interval{}, false
+	}
+	edges := make([]edge, 0, 2*len(ivs))
+	for i, iv := range ivs {
+		if !iv.Valid() {
+			continue
+		}
+		edges = append(edges, edge{at: iv.Lo, delta: +1, idx: i}, edge{at: iv.Hi, delta: -1, idx: i})
+	}
+	sortEdges(edges)
+
+	depth := 0
+	start := math.NaN()
+	for i, e := range edges {
+		depth += e.delta
+		if e.delta > 0 && depth == m && math.IsNaN(start) {
+			start = e.at
+		}
+		if e.delta < 0 && depth == m-1 && !math.IsNaN(start) {
+			return Interval{Lo: start, Hi: edges[i].at}, true
+		}
+	}
+	return Interval{}, false
+}
+
+// Group is one maximal set of mutually consistent intervals, together with
+// their common intersection. It corresponds to one shaded region of the
+// paper's Figure 4.
+type Group struct {
+	// Members are indices into the input slice, in increasing order.
+	Members []int
+	// Intersection is the region shared by every member.
+	Intersection Interval
+}
+
+// ConsistencyGroups decomposes a (possibly inconsistent) set of server
+// intervals into its maximal mutually-consistent subsets: the maximal
+// cliques of the interval-overlap graph. A consistent service yields a
+// single group containing every interval; the paper's Figure 4 service
+// yields three overlapping groups. Because the overlap graph of intervals
+// is an interval graph, the maximal cliques are exactly the distinct
+// maximal active sets of a sweep over sorted endpoints, found in
+// O(n log n + output).
+//
+// Inverted inputs are skipped and appear in no group.
+func ConsistencyGroups(ivs []Interval) []Group {
+	edges := make([]edge, 0, 2*len(ivs))
+	for i, iv := range ivs {
+		if !iv.Valid() {
+			continue
+		}
+		edges = append(edges, edge{at: iv.Lo, delta: +1, idx: i}, edge{at: iv.Hi, delta: -1, idx: i})
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	sortEdges(edges)
+
+	var groups []Group
+	active := make(map[int]bool)
+	lastWasOpen := false
+	for _, e := range edges {
+		if e.delta > 0 {
+			active[e.idx] = true
+			lastWasOpen = true
+			continue
+		}
+		if lastWasOpen {
+			// A close immediately after an open: the active set is a
+			// maximal clique.
+			members := make([]int, 0, len(active))
+			for idx := range active {
+				members = append(members, idx)
+			}
+			sort.Ints(members)
+			member := make([]Interval, len(members))
+			for i, idx := range members {
+				member[i] = ivs[idx]
+			}
+			common, _ := IntersectAll(member)
+			groups = append(groups, Group{Members: members, Intersection: common})
+		}
+		delete(active, e.idx)
+		lastWasOpen = false
+	}
+	return groups
+}
+
+// Consonant reports whether two clocks' rate intervals are consistent in
+// the sense of Section 5: the observed rate of separation lies within the
+// sum of the claimed drift bounds. rate is d(Ci - Cj)/dt and deltaI, deltaJ
+// are the claimed maximum drift rates.
+func Consonant(rate, deltaI, deltaJ float64) bool {
+	return math.Abs(rate) <= deltaI+deltaJ
+}

@@ -1,0 +1,161 @@
+// Package ntp implements fault-tolerant clock selection on top of the
+// interval algebra — the extension of the paper's algorithms to failing
+// clocks that [Marzullo 83] develops and that NTP later adopted for its
+// clock-selection phase.
+//
+// Given n candidate readings, of which up to f may be falsetickers
+// (intervals that do not contain the correct time because their server's
+// drift bound is invalid or its clock has failed), any point covered by at
+// least n-f intervals is covered by at least one truechimer. Selection
+// finds the largest m > n/2 such that some point is covered by m intervals,
+// keeps the servers whose intervals cover that region (the survivors), and
+// discards the rest as falsetickers. A clustering pass then prunes outlier
+// survivors, and a combining pass produces the final offset estimate.
+package ntp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"disttime/internal/interval"
+)
+
+// ErrNoMajority is returned when no point is covered by a majority of the
+// candidate intervals: the service is too inconsistent to select from.
+var ErrNoMajority = errors.New("ntp: no majority intersection")
+
+// Reading is one candidate clock source, expressed as the interval known
+// to contain the correct value (for a remote server: the transit-adjusted
+// offset or absolute interval) and the round trip that produced it.
+type Reading struct {
+	// ID names the source, for reporting.
+	ID string
+	// Interval contains the correct value if the source is a truechimer.
+	Interval interval.Interval
+	// RTT is the measurement's round trip; lower RTT means a tighter,
+	// more trustworthy reading. Used as the clustering tiebreaker.
+	RTT float64
+}
+
+// Selection is the outcome of the select/cluster passes.
+type Selection struct {
+	// Interval is the region shared by all survivors.
+	Interval interval.Interval
+	// Survivors and Falsetickers partition the input indices.
+	Survivors    []int
+	Falsetickers []int
+	// ToleratedFaults is f, the number of falsetickers the chosen
+	// majority can tolerate (n - m).
+	ToleratedFaults int
+}
+
+// Options tunes Select.
+type Options struct {
+	// MinSurvivors is the smallest acceptable survivor count; defaults to
+	// a strict majority of the inputs.
+	MinSurvivors int
+}
+
+// Select runs the intersection algorithm over the candidate readings. It
+// finds the largest m such that at least m intervals share a common point,
+// requires m to be at least the majority (or Options.MinSurvivors), and
+// classifies every reading by whether its interval intersects the selected
+// region.
+func Select(readings []Reading, opts Options) (Selection, error) {
+	n := len(readings)
+	if n == 0 {
+		return Selection{}, errors.New("ntp: no readings")
+	}
+	minSurvivors := opts.MinSurvivors
+	if minSurvivors <= 0 {
+		minSurvivors = n/2 + 1
+	}
+	ivs := make([]interval.Interval, n)
+	for i, r := range readings {
+		if !r.Interval.Valid() {
+			return Selection{}, fmt.Errorf("ntp: reading %d (%s) has an inverted interval", i, r.ID)
+		}
+		ivs[i] = r.Interval
+	}
+	best := interval.Marzullo(ivs)
+	if best.Count < minSurvivors {
+		return Selection{}, fmt.Errorf("%w: best agreement %d of %d, need %d",
+			ErrNoMajority, best.Count, n, minSurvivors)
+	}
+	out := Selection{Interval: best.Interval, ToleratedFaults: n - best.Count}
+	for i, iv := range ivs {
+		if interval.Consistent(iv, best.Interval) {
+			out.Survivors = append(out.Survivors, i)
+		} else {
+			out.Falsetickers = append(out.Falsetickers, i)
+		}
+	}
+	// Tighten to the true common region of the survivors.
+	member := make([]interval.Interval, len(out.Survivors))
+	for i, idx := range out.Survivors {
+		member[i] = ivs[idx]
+	}
+	if common, ok := interval.IntersectAll(member); ok {
+		out.Interval = common
+	}
+	return out, nil
+}
+
+// Cluster prunes survivors down to at most keep members by repeatedly
+// discarding the survivor whose midpoint is farthest from the mean
+// midpoint of the others (ties broken toward higher RTT). It never prunes
+// below two survivors. The returned slice preserves input order.
+func Cluster(readings []Reading, survivors []int, keep int) []int {
+	if keep < 2 {
+		keep = 2
+	}
+	current := append([]int(nil), survivors...)
+	for len(current) > keep {
+		worst, worstScore := -1, -1.0
+		for k, idx := range current {
+			mean, count := 0.0, 0
+			for j, other := range current {
+				if j == k {
+					continue
+				}
+				mean += readings[other].Interval.Midpoint()
+				count++
+			}
+			mean /= float64(count)
+			score := math.Abs(readings[idx].Interval.Midpoint() - mean)
+			if score > worstScore || (score == worstScore && worst >= 0 &&
+				readings[idx].RTT > readings[current[worst]].RTT) {
+				worst, worstScore = k, score
+			}
+		}
+		current = append(current[:worst], current[worst+1:]...)
+	}
+	return current
+}
+
+// Combine produces the final estimate from the chosen survivors: the
+// midpoint of each survivor interval, weighted by the inverse of its
+// width plus RTT (tighter, faster measurements dominate), together with a
+// conservative error equal to the widest distance from the combined value
+// to any survivor edge.
+func Combine(readings []Reading, survivors []int) (value, maxErr float64, err error) {
+	if len(survivors) == 0 {
+		return 0, 0, errors.New("ntp: no survivors to combine")
+	}
+	var sum, weightSum float64
+	for _, idx := range survivors {
+		r := readings[idx]
+		w := 1.0 / (r.Interval.Width() + r.RTT + 1e-12)
+		sum += w * r.Interval.Midpoint()
+		weightSum += w
+	}
+	value = sum / weightSum
+	for _, idx := range survivors {
+		iv := readings[idx].Interval
+		if d := math.Max(math.Abs(value-iv.Lo), math.Abs(iv.Hi-value)); d > maxErr {
+			maxErr = d
+		}
+	}
+	return value, maxErr, nil
+}

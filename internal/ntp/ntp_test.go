@@ -1,0 +1,232 @@
+package ntp
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"disttime/internal/interval"
+)
+
+func reading(id string, c, e, rtt float64) Reading {
+	return Reading{ID: id, Interval: interval.FromEstimate(c, e), RTT: rtt}
+}
+
+func TestSelectAllAgree(t *testing.T) {
+	readings := []Reading{
+		reading("a", 10, 2, 0.01),
+		reading("b", 11, 2, 0.02),
+		reading("c", 9.5, 2, 0.03),
+	}
+	sel, err := Select(readings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Survivors) != 3 || len(sel.Falsetickers) != 0 {
+		t.Fatalf("selection = %+v", sel)
+	}
+	if sel.ToleratedFaults != 0 {
+		t.Errorf("ToleratedFaults = %d", sel.ToleratedFaults)
+	}
+	// The tightened interval is the true intersection: [9, 11.5].
+	if math.Abs(sel.Interval.Lo-9) > 1e-12 || math.Abs(sel.Interval.Hi-11.5) > 1e-12 {
+		t.Errorf("interval = %v", sel.Interval)
+	}
+}
+
+func TestSelectRejectsFalseticker(t *testing.T) {
+	readings := []Reading{
+		reading("good1", 10, 1, 0.01),
+		reading("good2", 10.5, 1, 0.01),
+		reading("liar", 100, 1, 0.01),
+	}
+	sel, err := Select(readings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Survivors) != 2 {
+		t.Fatalf("survivors = %v", sel.Survivors)
+	}
+	if len(sel.Falsetickers) != 1 || sel.Falsetickers[0] != 2 {
+		t.Fatalf("falsetickers = %v", sel.Falsetickers)
+	}
+	if sel.ToleratedFaults != 1 {
+		t.Errorf("ToleratedFaults = %d", sel.ToleratedFaults)
+	}
+}
+
+func TestSelectNoMajority(t *testing.T) {
+	readings := []Reading{
+		reading("a", 0, 1, 0),
+		reading("b", 100, 1, 0),
+		reading("c", 200, 1, 0),
+		reading("d", 300, 1, 0),
+	}
+	_, err := Select(readings, Options{})
+	if !errors.Is(err, ErrNoMajority) {
+		t.Fatalf("error = %v, want ErrNoMajority", err)
+	}
+}
+
+func TestSelectEmptyAndInvalid(t *testing.T) {
+	if _, err := Select(nil, Options{}); err == nil {
+		t.Error("empty input should error")
+	}
+	bad := []Reading{{ID: "x", Interval: interval.Interval{Lo: 2, Hi: 1}}}
+	if _, err := Select(bad, Options{}); err == nil {
+		t.Error("inverted interval should error")
+	}
+}
+
+func TestSelectMinSurvivorsOption(t *testing.T) {
+	readings := []Reading{
+		reading("a", 10, 1, 0),
+		reading("b", 10.5, 1, 0),
+		reading("c", 50, 1, 0),
+		reading("d", 51, 1, 0),
+	}
+	// Default majority (3) fails: best agreement is 2.
+	if _, err := Select(readings, Options{}); !errors.Is(err, ErrNoMajority) {
+		t.Fatalf("error = %v, want ErrNoMajority", err)
+	}
+	// Relaxed to 2, the leftmost pair wins.
+	sel, err := Select(readings, Options{MinSurvivors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Survivors) != 2 || sel.Survivors[0] != 0 || sel.Survivors[1] != 1 {
+		t.Fatalf("survivors = %v", sel.Survivors)
+	}
+}
+
+// TestSelectToleratesFMinority: with n = 10 and f < n/2 falsetickers, the
+// correct readings always survive and no falseticker does.
+func TestSelectToleratesFMinority(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for f := 0; f <= 4; f++ {
+		for trial := 0; trial < 100; trial++ {
+			const n = 10
+			truth := 1000.0
+			var readings []Reading
+			for i := 0; i < n-f; i++ {
+				e := 0.5 + rng.Float64()
+				c := truth + (rng.Float64()*2-1)*e
+				readings = append(readings, reading("good", c, e, rng.Float64()*0.01))
+			}
+			for i := 0; i < f; i++ {
+				// Falsetickers are far off and tight, the dangerous kind.
+				c := truth + 100 + rng.Float64()*100
+				readings = append(readings, reading("bad", c, 0.1, rng.Float64()*0.01))
+			}
+			sel, err := Select(readings, Options{})
+			if err != nil {
+				t.Fatalf("f=%d trial %d: %v", f, trial, err)
+			}
+			if !sel.Interval.Contains(truth) {
+				t.Fatalf("f=%d trial %d: selected interval %v excludes truth",
+					f, trial, sel.Interval)
+			}
+			for _, idx := range sel.Survivors {
+				if readings[idx].ID == "bad" {
+					t.Fatalf("f=%d trial %d: falseticker survived", f, trial)
+				}
+			}
+		}
+	}
+}
+
+func TestCluster(t *testing.T) {
+	readings := []Reading{
+		reading("a", 10, 1, 0.01),
+		reading("b", 10.2, 1, 0.01),
+		reading("c", 10.1, 1, 0.01),
+		reading("outlier", 14, 5, 0.01), // consistent but far midpoint
+	}
+	survivors := []int{0, 1, 2, 3}
+	kept := Cluster(readings, survivors, 3)
+	if len(kept) != 3 {
+		t.Fatalf("kept = %v", kept)
+	}
+	for _, idx := range kept {
+		if readings[idx].ID == "outlier" {
+			t.Error("outlier survived clustering")
+		}
+	}
+}
+
+func TestClusterNeverBelowTwo(t *testing.T) {
+	readings := []Reading{
+		reading("a", 10, 1, 0),
+		reading("b", 20, 1, 0),
+	}
+	kept := Cluster(readings, []int{0, 1}, 1)
+	if len(kept) != 2 {
+		t.Errorf("kept = %v, want both", kept)
+	}
+}
+
+func TestClusterKeepAll(t *testing.T) {
+	readings := []Reading{
+		reading("a", 10, 1, 0),
+		reading("b", 11, 1, 0),
+	}
+	kept := Cluster(readings, []int{0, 1}, 5)
+	if len(kept) != 2 {
+		t.Errorf("kept = %v", kept)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	readings := []Reading{
+		reading("tight", 10, 0.1, 0.001),
+		reading("loose", 12, 5, 0.1),
+	}
+	value, maxErr, err := Combine(readings, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tight reading dominates.
+	if math.Abs(value-10) > 0.5 {
+		t.Errorf("value = %v, want near 10", value)
+	}
+	// The error covers the farthest survivor edge (loose Hi = 17).
+	if maxErr < 17-value-1e-9 {
+		t.Errorf("maxErr = %v too small", maxErr)
+	}
+}
+
+func TestCombineNoSurvivors(t *testing.T) {
+	if _, _, err := Combine(nil, nil); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// TestEndToEndSelection: the full select -> cluster -> combine pipeline
+// recovers the correct time with a third of the sources lying.
+func TestEndToEndSelection(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 200; trial++ {
+		truth := 500.0
+		var readings []Reading
+		for i := 0; i < 6; i++ {
+			e := 0.2 + rng.Float64()*0.5
+			readings = append(readings, reading("good", truth+(rng.Float64()*2-1)*e, e, rng.Float64()*0.01))
+		}
+		for i := 0; i < 3; i++ {
+			readings = append(readings, reading("bad", truth-50-rng.Float64()*20, 0.5, rng.Float64()*0.01))
+		}
+		sel, err := Select(readings, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		kept := Cluster(readings, sel.Survivors, 4)
+		value, maxErr, err := Combine(readings, kept)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(value-truth) > maxErr {
+			t.Fatalf("trial %d: combined %v +/- %v misses truth", trial, value, maxErr)
+		}
+	}
+}

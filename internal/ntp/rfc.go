@@ -1,0 +1,112 @@
+package ntp
+
+import (
+	"fmt"
+	"sort"
+
+	"disttime/internal/interval"
+)
+
+// SelectRFC implements the RFC 5905 refinement of the intersection
+// algorithm (clock_select): like Select it searches for the smallest
+// number of assumed falsetickers `allow` such that n-allow intervals
+// share a region, but it additionally requires that at most `allow`
+// interval *midpoints* fall outside the candidate region. The midpoint
+// condition rejects configurations where wide intervals barely graze a
+// region their centers disagree with — NTP's hedge against exactly the
+// Figure 3 hazard (a derived region pinned by edges of mutually
+// suspicious sources).
+//
+// It returns ErrNoMajority when no allow below half the sources
+// satisfies both conditions.
+func SelectRFC(readings []Reading, opts Options) (Selection, error) {
+	n := len(readings)
+	if n == 0 {
+		return Selection{}, fmt.Errorf("ntp: no readings")
+	}
+	type edge struct {
+		at  float64
+		typ int // +1 lower, -1 upper
+	}
+	edges := make([]edge, 0, 2*n)
+	mids := make([]float64, 0, n)
+	for i, r := range readings {
+		if !r.Interval.Valid() {
+			return Selection{}, fmt.Errorf("ntp: reading %d (%s) has an inverted interval", i, r.ID)
+		}
+		edges = append(edges,
+			edge{at: r.Interval.Lo, typ: +1},
+			edge{at: r.Interval.Hi, typ: -1})
+		mids = append(mids, r.Interval.Midpoint())
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].typ > edges[j].typ
+	})
+
+	// The low/high span construction is only sound with a strict
+	// majority: any two majority subsets intersect, so the leftmost and
+	// rightmost majority-covered points bound one contiguous region. A
+	// smaller MinSurvivors would let the span straddle disjoint clusters,
+	// so it is clamped to the majority.
+	minSurvivors := opts.MinSurvivors
+	if minSurvivors < n/2+1 {
+		minSurvivors = n/2 + 1
+	}
+
+	for allow := 0; n-allow >= minSurvivors; allow++ {
+		m := n - allow
+
+		// Leftmost point covered by at least m intervals.
+		low, okLow := 0.0, false
+		depth := 0
+		for _, e := range edges {
+			depth += e.typ
+			if e.typ > 0 && depth >= m {
+				low, okLow = e.at, true
+				break
+			}
+		}
+		// Rightmost point covered by at least m intervals.
+		high, okHigh := 0.0, false
+		depth = 0
+		for i := len(edges) - 1; i >= 0; i-- {
+			depth -= edges[i].typ
+			if edges[i].typ < 0 && depth >= m {
+				high, okHigh = edges[i].at, true
+				break
+			}
+		}
+		if !okLow || !okHigh || low > high {
+			continue
+		}
+		outside := 0
+		for _, mid := range mids {
+			if mid < low || mid > high {
+				outside++
+			}
+		}
+		if outside > allow {
+			continue
+		}
+
+		region := interval.Interval{Lo: low, Hi: high}
+		out := Selection{Interval: region, ToleratedFaults: allow}
+		for i, r := range readings {
+			if interval.Consistent(r.Interval, region) &&
+				mids[i] >= low && mids[i] <= high {
+				out.Survivors = append(out.Survivors, i)
+			} else {
+				out.Falsetickers = append(out.Falsetickers, i)
+			}
+		}
+		if len(out.Survivors) < minSurvivors {
+			continue
+		}
+		return out, nil
+	}
+	return Selection{}, fmt.Errorf("%w: no region satisfies both edge and midpoint majorities of %d",
+		ErrNoMajority, n)
+}

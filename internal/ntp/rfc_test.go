@@ -1,0 +1,202 @@
+package ntp
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"disttime/internal/interval"
+)
+
+func TestSelectRFCAgreesOnCleanInput(t *testing.T) {
+	readings := []Reading{
+		reading("a", 10, 2, 0.01),
+		reading("b", 11, 2, 0.02),
+		reading("c", 9.5, 2, 0.03),
+	}
+	sel, err := SelectRFC(readings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Survivors) != 3 || sel.ToleratedFaults != 0 {
+		t.Fatalf("selection = %+v", sel)
+	}
+	if !sel.Interval.Contains(10) {
+		t.Errorf("interval %v", sel.Interval)
+	}
+}
+
+func TestSelectRFCRejectsFalseticker(t *testing.T) {
+	readings := []Reading{
+		reading("good1", 10, 1, 0.01),
+		reading("good2", 10.5, 1, 0.01),
+		reading("liar", 100, 1, 0.01),
+	}
+	sel, err := SelectRFC(readings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Falsetickers) != 1 || sel.Falsetickers[0] != 2 {
+		t.Fatalf("falsetickers = %v", sel.Falsetickers)
+	}
+}
+
+// TestSelectRFCMidpointConditionBites: a configuration where plain edge
+// counting (Select) accepts a sliver grazed by every interval, but the
+// midpoints disagree with it, so the RFC variant refuses.
+func TestSelectRFCMidpointConditionBites(t *testing.T) {
+	readings := []Reading{
+		{ID: "tightL1", Interval: interval.Interval{Lo: 0, Hi: 2}},     // mid 1
+		{ID: "tightL2", Interval: interval.Interval{Lo: 0.5, Hi: 2.5}}, // mid 1.5
+		{ID: "wideR1", Interval: interval.Interval{Lo: 1.9, Hi: 10}},   // mid ~6
+		{ID: "wideR2", Interval: interval.Interval{Lo: 1.95, Hi: 12}},  // mid ~7
+	}
+	// Plain selection: all four share [1.95, 2].
+	plain, err := Select(readings, Options{})
+	if err != nil {
+		t.Fatalf("plain Select: %v", err)
+	}
+	if len(plain.Survivors) != 4 {
+		t.Fatalf("plain survivors = %v", plain.Survivors)
+	}
+	// RFC: allow=0 fails the midpoint condition (two midpoints below the
+	// region); allow=1 widens the region but four midpoints sit outside.
+	if _, err := SelectRFC(readings, Options{}); !errors.Is(err, ErrNoMajority) {
+		t.Fatalf("SelectRFC error = %v, want ErrNoMajority", err)
+	}
+}
+
+func TestSelectRFCEmptyAndInvalid(t *testing.T) {
+	if _, err := SelectRFC(nil, Options{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := []Reading{{ID: "x", Interval: interval.Interval{Lo: 2, Hi: 1}}}
+	if _, err := SelectRFC(bad, Options{}); err == nil {
+		t.Error("inverted interval accepted")
+	}
+}
+
+func TestSelectRFCNoMajority(t *testing.T) {
+	readings := []Reading{
+		reading("a", 0, 1, 0),
+		reading("b", 100, 1, 0),
+		reading("c", 200, 1, 0),
+	}
+	if _, err := SelectRFC(readings, Options{}); !errors.Is(err, ErrNoMajority) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+// TestSelectRFCCorrectWithHonestMajority mirrors the Select property in
+// the guarantee's actual form: SelectRFC may refuse when honest midpoints
+// spread wider than the common region (that conservatism is the point of
+// the midpoint condition), but whenever it succeeds the region contains
+// the truth and no falseticker survives.
+func TestSelectRFCCorrectWithHonestMajority(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	for f := 0; f <= 4; f++ {
+		succeeded := 0
+		const trials = 100
+		for trial := 0; trial < trials; trial++ {
+			const n = 10
+			truth := 1000.0
+			var readings []Reading
+			for i := 0; i < n-f; i++ {
+				e := 0.5 + rng.Float64()
+				// Centers concentrated relative to widths, the regime NTP
+				// operates in (root distance dominates offset spread).
+				c := truth + (rng.Float64()*2-1)*e*0.3
+				readings = append(readings, reading("good", c, e, 0))
+			}
+			for i := 0; i < f; i++ {
+				c := truth + 100 + rng.Float64()*100
+				readings = append(readings, reading("bad", c, 0.1, 0))
+			}
+			sel, err := SelectRFC(readings, Options{})
+			if err != nil {
+				if !errors.Is(err, ErrNoMajority) {
+					t.Fatalf("f=%d trial %d: %v", f, trial, err)
+				}
+				continue
+			}
+			succeeded++
+			if !sel.Interval.Contains(truth) {
+				t.Fatalf("f=%d trial %d: region %v excludes truth", f, trial, sel.Interval)
+			}
+			for _, idx := range sel.Survivors {
+				if readings[idx].ID == "bad" {
+					t.Fatalf("f=%d trial %d: falseticker survived", f, trial)
+				}
+			}
+		}
+		if succeeded < trials*8/10 {
+			t.Errorf("f=%d: only %d/%d selections succeeded in the concentrated regime", f, succeeded, trials)
+		}
+	}
+}
+
+// TestSelectRFCRegionCoversSelectRegion: whenever both succeed with the
+// same tolerated-fault count, the RFC region (edges of the m-coverage
+// span) contains the plain best intersection.
+func TestSelectRFCRegionCoversSelectRegion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 44))
+	for trial := 0; trial < 300; trial++ {
+		truth := 100.0
+		var readings []Reading
+		for i := 0; i < 5; i++ {
+			e := 0.5 + rng.Float64()
+			readings = append(readings, reading("good", truth+(rng.Float64()*2-1)*e, e, 0))
+		}
+		plain, errP := Select(readings, Options{})
+		if errP != nil {
+			t.Fatalf("trial %d: %v", trial, errP)
+		}
+		rfc, errR := SelectRFC(readings, Options{})
+		if errors.Is(errR, ErrNoMajority) {
+			continue // legitimate RFC conservatism
+		}
+		if errR != nil {
+			t.Fatalf("trial %d: %v", trial, errR)
+		}
+		if rfc.ToleratedFaults == plain.ToleratedFaults {
+			if !interval.Consistent(rfc.Interval, plain.Interval) {
+				t.Fatalf("trial %d: regions disjoint: %v vs %v", trial, rfc.Interval, plain.Interval)
+			}
+		}
+	}
+}
+
+func TestSelectRFCMinSurvivorsOption(t *testing.T) {
+	readings := []Reading{
+		reading("a", 10, 1, 0),
+		reading("b", 10.2, 1, 0),
+		reading("c", 50, 1, 0),
+		reading("d", 51, 1, 0),
+	}
+	if _, err := SelectRFC(readings, Options{}); !errors.Is(err, ErrNoMajority) {
+		t.Fatalf("default majority should fail: %v", err)
+	}
+	// Unlike Select, the RFC construction is only sound with a strict
+	// majority, so a sub-majority MinSurvivors is clamped and still fails
+	// (the span would otherwise straddle the two disjoint clusters).
+	if _, err := SelectRFC(readings, Options{MinSurvivors: 2}); !errors.Is(err, ErrNoMajority) {
+		t.Fatalf("sub-majority MinSurvivors not clamped: %v", err)
+	}
+	// Raising MinSurvivors above the majority is honored.
+	tight := []Reading{
+		reading("a", 10, 1, 0),
+		reading("b", 10.2, 1, 0),
+		reading("c", 10.4, 1, 0),
+		reading("d", 50, 1, 0),
+	}
+	if _, err := SelectRFC(tight, Options{MinSurvivors: 4}); !errors.Is(err, ErrNoMajority) {
+		t.Fatalf("MinSurvivors=4 with 3 agreeing should fail: %v", err)
+	}
+	sel, err := SelectRFC(tight, Options{MinSurvivors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Survivors) != 3 {
+		t.Fatalf("survivors = %v", sel.Survivors)
+	}
+}

@@ -1,0 +1,579 @@
+// Package service assembles a complete simulated time service: a set of
+// core.Servers with configurable clocks, joined by a simnet topology,
+// periodically synchronizing with a pluggable synchronization function.
+// It is the workload engine behind every experiment in the paper's
+// reproduction: it runs the request/reply protocol the paper assumes
+// (broadcast a time request, measure each reply's round trip on the local
+// clock, hand the batch to rule MM-2 or IM-2), applies the Section 3
+// recovery heuristic on inconsistency, and samples the metrics the
+// theorems bound.
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"disttime/internal/clock"
+	"disttime/internal/core"
+	"disttime/internal/interval"
+	"disttime/internal/sim"
+	"disttime/internal/simnet"
+)
+
+// Topology selects how the servers are linked.
+type Topology int
+
+// Topologies. The paper's theorems assume a full mesh; the recovery and
+// partition experiments use sparser graphs.
+const (
+	FullMesh Topology = iota + 1
+	Ring
+	Line
+	Star
+	Custom // links must be added by the caller before Run
+)
+
+// ServerSpec describes one server in the service.
+type ServerSpec struct {
+	// Delta is the claimed maximum drift rate (rule MM-1 bookkeeping).
+	Delta float64
+	// Drift is the clock's actual constant drift rate. Ignored when
+	// NewClock is set. The claimed bound is valid iff |Drift| <= Delta.
+	Drift float64
+	// NewClock, when non-nil, builds the server's clock reading value at
+	// real time t. It overrides Drift and is the hook for failure-mode
+	// clocks and random-walk oscillators.
+	NewClock func(t, value float64) clock.Clock
+	// InitialOffset is C(0) - 0, the clock's initial displacement from
+	// the correct time.
+	InitialOffset float64
+	// InitialError is the server's initial inherited error. It must be at
+	// least |InitialOffset| for the server to start correct.
+	InitialError float64
+	// SyncEvery is the server's synchronization period tau in seconds.
+	// Zero disables synchronization (the server only answers requests).
+	SyncEvery float64
+	// SlewRate, when positive, wraps the server's clock so corrections
+	// are absorbed gradually at this rate instead of stepping (see
+	// clock.Slewing). The unabsorbed remainder is charged to the server's
+	// reported error automatically.
+	SlewRate float64
+	// Fn overrides the service-wide synchronization function.
+	Fn core.SyncFunc
+	// Recovery enables the Section 3 heuristic: on finding a reply
+	// inconsistent with itself, the server resets from a third server.
+	Recovery bool
+	// RateFilter enables the Section 5 defense: before synchronizing, the
+	// server drops replies from neighbors whose observed rate of
+	// separation is dissonant with the claimed bounds (the reply carries
+	// the responder's claimed delta). Rate estimates survive the server's
+	// own resets (the tracker's local timeline is shifted by each jump),
+	// so a persistently mis-bounded neighbor is excluded even while its
+	// intervals remain consistent — the Figure 3 hazard the interval
+	// mechanisms alone cannot resist.
+	RateFilter bool
+	// RateFilterAfter is the minimum observation span (local-clock
+	// seconds) before RateFilter may exclude a neighbor; defaults to 300.
+	RateFilterAfter float64
+	// AdaptiveDelta enables the thesis's delta maintenance ("algorithms
+	// MM and IM can then be applied to maintain a consonant set of
+	// delta_i"): after each round the server intersects the drift
+	// constraints its neighbors' rates imply; if the intersection proves
+	// its own claimed bound impossible, it raises the bound to cover the
+	// constraint (with a 10% margin) and repairs its error bookkeeping
+	// (core.Server.RaiseDelta). A server with an invalid bound thereby
+	// rejoins the service as an honest, if poor, citizen instead of
+	// poisoning it.
+	AdaptiveDelta bool
+	// AdaptAfter is the minimum observation span (local-clock seconds)
+	// before AdaptiveDelta may act; defaults to 600.
+	AdaptAfter float64
+}
+
+// Config describes a whole service.
+type Config struct {
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Delay is the one-way link delay model; defaults to
+	// Uniform{0, 0.05} (the paper's zero minimum delay, xi = 0.1 s).
+	Delay simnet.DelayModel
+	// Loss is the per-message loss probability on every link.
+	Loss float64
+	// Topology selects the link structure; defaults to FullMesh.
+	Topology Topology
+	// Fn is the default synchronization function; defaults to core.MM{}.
+	Fn core.SyncFunc
+	// Servers lists the service's members. At least one is required.
+	Servers []ServerSpec
+	// CollectFor is how long (real seconds) a server waits after
+	// broadcasting a request before handing the collected replies to the
+	// synchronization function. Defaults to just over the network's xi,
+	// so every undropped reply is included.
+	CollectFor float64
+	// Stagger randomizes each server's first sync tick uniformly within
+	// its period, as unsynchronized servers would be. Defaults true via
+	// NewService; set NoStagger to disable for lockstep experiments.
+	NoStagger bool
+}
+
+// Node is one running server: protocol state machine plus its network
+// identity.
+type Node struct {
+	Server *core.Server
+	Spec   ServerSpec
+	NetID  simnet.NodeID
+	Rates  *core.RateTracker
+
+	svc            *Service
+	fn             core.SyncFunc
+	reqSeq         uint64
+	collect        *collection
+	stopSync       func()
+	neighborDeltas map[int]float64
+
+	// Counters for experiment reporting.
+	Syncs          int
+	Resets         int
+	Recoveries     int
+	FailedRecovery int
+	RateFiltered   int
+	DeltaRaises    int
+}
+
+// collection is one in-flight request round.
+type collection struct {
+	id        uint64
+	sentLocal float64 // local clock when the broadcast left
+	replies   []pendingReply
+}
+
+type pendingReply struct {
+	reply      core.Reply
+	arrivedLoc float64 // local clock at arrival
+}
+
+// Service is a simulated time service.
+type Service struct {
+	Sim   *sim.Simulator
+	Net   *simnet.Network
+	Nodes []*Node
+
+	cfg    Config
+	onSync func(node int, t float64, res core.Result)
+}
+
+type timeRequest struct {
+	id uint64
+}
+
+type timeReply struct {
+	id      uint64
+	reading core.Reading
+}
+
+// New builds the service at virtual time zero. The configuration is
+// validated; the returned service is ready for Run or manual stepping via
+// its Sim.
+func New(cfg Config) (*Service, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("service: no servers configured")
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = simnet.Uniform{Min: 0, Max: 0.05}
+	}
+	if cfg.Fn == nil {
+		cfg.Fn = core.MM{}
+	}
+	if cfg.Topology == 0 {
+		cfg.Topology = FullMesh
+	}
+
+	s := sim.New(cfg.Seed)
+	net := simnet.New(s)
+	svc := &Service{Sim: s, Net: net, cfg: cfg}
+
+	link := simnet.LinkConfig{Delay: cfg.Delay, Loss: cfg.Loss}
+	ids := make([]simnet.NodeID, len(cfg.Servers))
+	for i, spec := range cfg.Servers {
+		if spec.InitialError < math.Abs(spec.InitialOffset) {
+			return nil, fmt.Errorf(
+				"service: server %d starts incorrect: offset %v exceeds error %v",
+				i, spec.InitialOffset, spec.InitialError)
+		}
+		var clk clock.Clock
+		if spec.NewClock != nil {
+			clk = spec.NewClock(0, spec.InitialOffset)
+		} else {
+			clk = clock.NewDrifting(0, spec.InitialOffset, spec.Drift)
+		}
+		if spec.SlewRate > 0 {
+			clk = clock.NewSlewing(clk, spec.SlewRate)
+		}
+		server, err := core.NewServer(0, core.Config{
+			ID:           i,
+			Clock:        clk,
+			Delta:        spec.Delta,
+			InitialError: spec.InitialError,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		fn := spec.Fn
+		if fn == nil {
+			fn = cfg.Fn
+		}
+		node := &Node{
+			Server:         server,
+			Spec:           spec,
+			Rates:          core.NewRateTracker(),
+			svc:            svc,
+			fn:             fn,
+			neighborDeltas: make(map[int]float64),
+		}
+		node.NetID = net.AddNode(node.handle)
+		ids[i] = node.NetID
+		svc.Nodes = append(svc.Nodes, node)
+	}
+
+	var err error
+	switch cfg.Topology {
+	case FullMesh:
+		err = simnet.FullMesh(net, ids, link)
+	case Ring:
+		err = simnet.Ring(net, ids, link)
+	case Line:
+		err = simnet.Line(net, ids, link)
+	case Star:
+		err = simnet.Star(net, ids[0], ids[1:], link)
+	case Custom:
+		// Caller wires links.
+	default:
+		err = fmt.Errorf("service: unknown topology %d", cfg.Topology)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Schedule periodic synchronization.
+	for _, node := range svc.Nodes {
+		node := node
+		period := node.Spec.SyncEvery
+		if period <= 0 {
+			continue
+		}
+		phase := 0.0
+		if !cfg.NoStagger {
+			phase = s.Rand().Float64() * period
+		}
+		s.At(phase, func() {
+			node.startRound()
+			node.stopSync = s.Every(period, node.startRound)
+		})
+	}
+	return svc, nil
+}
+
+// CollectWindow returns the reply-collection window used by sync rounds.
+func (svc *Service) CollectWindow() float64 {
+	if svc.cfg.CollectFor > 0 {
+		return svc.cfg.CollectFor
+	}
+	return svc.Net.Xi() * 1.05
+}
+
+// Link connects two servers by index with the service's default link
+// parameters (for Custom topologies).
+func (svc *Service) Link(i, j int) error {
+	return svc.Net.Connect(svc.Nodes[i].NetID, svc.Nodes[j].NetID,
+		simnet.LinkConfig{Delay: svc.cfg.Delay, Loss: svc.cfg.Loss})
+}
+
+// Run advances the simulation to the given virtual time.
+func (svc *Service) Run(until float64) { svc.Sim.RunUntil(until) }
+
+// handle is a node's network message handler.
+func (n *Node) handle(m simnet.Message) {
+	now := n.svc.Sim.Now()
+	switch p := m.Payload.(type) {
+	case timeRequest:
+		// Rule MM-1: answer with the current reading.
+		n.svc.Net.Send(n.NetID, m.From, timeReply{id: p.id, reading: n.Server.Reading(now)})
+	case timeReply:
+		if n.collect == nil || n.collect.id != p.id {
+			return // stale reply from a finished round
+		}
+		local := n.Server.Read(now)
+		n.collect.replies = append(n.collect.replies, pendingReply{
+			reply: core.Reply{
+				From:  int(m.From),
+				C:     p.reading.C,
+				E:     p.reading.E,
+				RTT:   local - n.collect.sentLocal,
+				Delta: p.reading.Delta,
+			},
+			arrivedLoc: local,
+		})
+		n.Rates.Observe(int(m.From), core.RateSample{
+			Local:  local,
+			Remote: p.reading.C,
+			RTT:    local - n.collect.sentLocal,
+		})
+		n.neighborDeltas[int(m.From)] = p.reading.Delta
+	}
+}
+
+// startRound broadcasts a time request and schedules the round's
+// completion.
+func (n *Node) startRound() {
+	now := n.svc.Sim.Now()
+	n.reqSeq++
+	n.collect = &collection{id: n.reqSeq, sentLocal: n.Server.Read(now)}
+	if n.svc.Net.Broadcast(n.NetID, timeRequest{id: n.reqSeq}) == 0 {
+		n.collect = nil
+		return
+	}
+	col := n.collect
+	n.svc.Sim.After(n.svc.CollectWindow(), func() { n.finishRound(col) })
+}
+
+// finishRound hands the collected replies to the synchronization function
+// and applies the recovery policy. It processes exactly the round it was
+// scheduled for, even if a faster sync period has already begun the next
+// round.
+func (n *Node) finishRound(col *collection) {
+	if n.collect == col {
+		n.collect = nil
+	}
+	now := n.svc.Sim.Now()
+	nowLocal := n.Server.Read(now)
+	replies := make([]core.Reply, 0, len(col.replies))
+	for _, p := range col.replies {
+		r := p.reply
+		r.Age = nowLocal - p.arrivedLoc
+		replies = append(replies, r)
+	}
+	if n.Spec.RateFilter {
+		replies = n.rateFilter(replies)
+	}
+	n.Syncs++
+	before := nowLocal
+	res := n.fn.Sync(n.Server, now, replies)
+	if res.Reset {
+		n.Resets++
+	}
+	if len(res.Inconsistent) > 0 && n.Spec.Recovery {
+		n.recover(now, replies, res)
+	}
+	// A reset shifts the local timeline; translate the rate samples so
+	// the estimates stay continuous across it (Section 5 bookkeeping).
+	if after := n.Server.Read(now); after != before {
+		n.Rates.ShiftLocal(after - before)
+	}
+	if n.Spec.AdaptiveDelta {
+		n.adaptDelta(now)
+	}
+	if n.svc.onSync != nil {
+		n.svc.onSync(n.Server.ID(), now, res)
+	}
+}
+
+// adaptDelta applies the thesis's delta maintenance: intersect the drift
+// constraints implied by every sufficiently-observed neighbor; if the
+// result proves the server's own claimed bound impossible, raise the
+// bound (with margin) to cover it. The repaired bookkeeping makes the
+// server's interval correct again, so it rejoins the service honestly.
+func (n *Node) adaptDelta(now float64) {
+	minSpan := n.Spec.AdaptAfter
+	if minSpan <= 0 {
+		minSpan = 600
+	}
+	var estimates []core.RateEstimate
+	var deltas []float64
+	for from, delta := range n.neighborDeltas {
+		est := n.Rates.Estimate(from)
+		if est.Valid && est.Span >= minSpan {
+			estimates = append(estimates, est)
+			deltas = append(deltas, delta)
+		}
+	}
+	if len(estimates) == 0 {
+		return
+	}
+	constraint, ok := core.EstimateOwnDrift(estimates, deltas)
+	if !ok {
+		// Mutually inconsistent constraints: some neighbor's bound is
+		// invalid; nothing sound to adapt to.
+		return
+	}
+	// As with the rate filter, neighbors' resets perturb the estimates in
+	// ways their uncertainty terms cannot see, so only act on clear
+	// evidence: the constraint must exclude even twice the claimed bound.
+	if !core.SuspectInvalidBound(constraint, 2*n.Server.Delta()) {
+		return
+	}
+	need := math.Max(math.Abs(constraint.Lo), math.Abs(constraint.Hi)) * 1.1
+	if err := n.Server.RaiseDelta(now, need); err == nil {
+		n.DeltaRaises++
+	}
+}
+
+// rateFilter drops replies from neighbors whose observed separation rate
+// is dissonant with the claimed bounds, once enough observation span has
+// accumulated. This is the Section 5 defense running inside the sync
+// loop: a neighbor drifting beyond its claimed bound is excluded even
+// while its intervals remain consistent.
+//
+// The check carries a 2x margin on the claimed bounds: a neighbor's own
+// resets perturb the observed rate by amounts the estimate's uncertainty
+// cannot account for (the jumps are invisible remotely), so only clear
+// dissonance — beyond twice the combined bounds — excludes a reply.
+func (n *Node) rateFilter(replies []core.Reply) []core.Reply {
+	minSpan := n.Spec.RateFilterAfter
+	if minSpan <= 0 {
+		minSpan = 300
+	}
+	kept := replies[:0]
+	for _, r := range replies {
+		est := n.Rates.Estimate(r.From)
+		if est.Valid && est.Span >= minSpan &&
+			!est.ConsonantWith(2*n.Server.Delta(), 2*r.Delta) {
+			n.RateFiltered++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return kept
+}
+
+// recover implements the Section 3 heuristic: having found itself
+// inconsistent with some neighbor, the server assumes a third server is
+// correct and resets from it. Consistent replies are preferred; failing
+// that, any reply from a server other than the first inconsistent one is
+// adopted.
+func (n *Node) recover(now float64, replies []core.Reply, res core.Result) {
+	inconsistent := make(map[int]bool, len(res.Inconsistent))
+	for _, idx := range res.Inconsistent {
+		inconsistent[idx] = true
+	}
+	pick := -1
+	for i := range replies {
+		if !inconsistent[i] {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		// Every reply was inconsistent with us: adopt any server other
+		// than the first offender (the paper's "any third server").
+		first := replies[res.Inconsistent[0]].From
+		for i, r := range replies {
+			if r.From != first {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		n.FailedRecovery++
+		return
+	}
+	n.Server.Adopt(now, replies[pick])
+	n.Recoveries++
+	n.Rates.ResetAll()
+}
+
+// Sample is one metrics snapshot of the whole service.
+type Sample struct {
+	// T is the virtual (correct) time of the snapshot.
+	T float64
+	// C and E are per-server clock values and maximum errors.
+	C []float64
+	E []float64
+	// Offset is C[i] - T per server.
+	Offset []float64
+	// MinError is the smallest error in the service (the paper's E_M).
+	MinError float64
+	// MinErrorServer is the index attaining MinError (the paper's S_M).
+	MinErrorServer int
+	// MaxAsync is the largest pairwise clock difference |C_i - C_j|.
+	MaxAsync float64
+	// MaxAbsOffset is the largest |C_i - T|: the service's worst
+	// incorrectness exposure.
+	MaxAbsOffset float64
+	// AllCorrect reports whether every server's interval contains T.
+	AllCorrect bool
+	// Consistent reports whether all intervals share a common point.
+	Consistent bool
+	// Groups is the number of maximal consistency groups (1 when
+	// consistent).
+	Groups int
+}
+
+// Snapshot measures the service at the current virtual time.
+func (svc *Service) Snapshot() Sample {
+	t := svc.Sim.Now()
+	n := len(svc.Nodes)
+	s := Sample{
+		T:              t,
+		C:              make([]float64, n),
+		E:              make([]float64, n),
+		Offset:         make([]float64, n),
+		MinError:       math.Inf(1),
+		MinErrorServer: -1,
+		AllCorrect:     true,
+	}
+	ivs := make([]interval.Interval, n)
+	for i, node := range svc.Nodes {
+		r := node.Server.Reading(t)
+		s.C[i] = r.C
+		s.E[i] = r.E
+		s.Offset[i] = r.C - t
+		if math.Abs(s.Offset[i]) > s.MaxAbsOffset {
+			s.MaxAbsOffset = math.Abs(s.Offset[i])
+		}
+		if r.E < s.MinError {
+			s.MinError = r.E
+			s.MinErrorServer = i
+		}
+		ivs[i] = r.Interval()
+		if !ivs[i].Contains(t) {
+			s.AllCorrect = false
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := math.Abs(s.C[i] - s.C[j]); d > s.MaxAsync {
+				s.MaxAsync = d
+			}
+		}
+	}
+	_, s.Consistent = interval.IntersectAll(ivs)
+	s.Groups = len(interval.ConsistencyGroups(ivs))
+	return s
+}
+
+// RunSampled advances the simulation to duration, taking a Snapshot every
+// sampleEvery seconds (and one final snapshot at duration).
+func (svc *Service) RunSampled(duration, sampleEvery float64) ([]Sample, error) {
+	if sampleEvery <= 0 {
+		return nil, fmt.Errorf("service: non-positive sample period %v", sampleEvery)
+	}
+	var samples []Sample
+	for t := sampleEvery; t < duration; t += sampleEvery {
+		svc.Sim.RunUntil(t)
+		samples = append(samples, svc.Snapshot())
+	}
+	svc.Sim.RunUntil(duration)
+	samples = append(samples, svc.Snapshot())
+	return samples, nil
+}
+
+// Stop cancels every server's periodic synchronization.
+func (svc *Service) Stop() {
+	for _, n := range svc.Nodes {
+		if n.stopSync != nil {
+			n.stopSync()
+			n.stopSync = nil
+		}
+	}
+}

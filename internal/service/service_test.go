@@ -1,0 +1,1227 @@
+package service
+
+import (
+	"math"
+	"testing"
+
+	"disttime/internal/clock"
+	"disttime/internal/core"
+	"disttime/internal/simnet"
+)
+
+// correctSpecs returns n healthy server specs with valid bounds, small
+// initial offsets, and the given sync function.
+func correctSpecs(n int, tau float64) []ServerSpec {
+	specs := make([]ServerSpec, n)
+	drifts := []float64{1e-5, -2e-5, 3e-5, -4e-5, 5e-5, -6e-5, 7e-5, -8e-5}
+	for i := range specs {
+		d := drifts[i%len(drifts)]
+		specs[i] = ServerSpec{
+			Delta:         math.Abs(d) * 1.5,
+			Drift:         d,
+			InitialOffset: float64(i%3-1) * 0.01,
+			InitialError:  0.05,
+			SyncEvery:     tau,
+		}
+	}
+	return specs
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{name: "no servers", cfg: Config{}, wantErr: true},
+		{
+			name: "ok",
+			cfg:  Config{Servers: correctSpecs(2, 10)},
+		},
+		{
+			name: "initially incorrect",
+			cfg: Config{Servers: []ServerSpec{
+				{Delta: 1e-5, InitialOffset: 1, InitialError: 0.5},
+			}},
+			wantErr: true,
+		},
+		{
+			name: "bad topology",
+			cfg: Config{
+				Topology: Topology(99),
+				Servers:  correctSpecs(2, 10),
+			},
+			wantErr: true,
+		},
+		{
+			name: "negative delta",
+			cfg: Config{Servers: []ServerSpec{
+				{Delta: -1, SyncEvery: 10},
+			}},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("New error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMMServiceStaysCorrectAndConsistent(t *testing.T) {
+	svc, err := New(Config{
+		Seed:    1,
+		Delay:   simnet.Uniform{Max: 0.01},
+		Fn:      core.MM{},
+		Servers: correctSpecs(5, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := svc.RunSampled(600, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !s.AllCorrect {
+			t.Fatalf("t=%v: correctness lost: %+v", s.T, s)
+		}
+		if !s.Consistent {
+			t.Fatalf("t=%v: consistency lost", s.T)
+		}
+		if s.Groups != 1 {
+			t.Fatalf("t=%v: %d consistency groups", s.T, s.Groups)
+		}
+	}
+	// Servers actually synchronized.
+	totalResets := 0
+	for _, n := range svc.Nodes {
+		if n.Syncs == 0 {
+			t.Errorf("server %d never synced", n.Server.ID())
+		}
+		totalResets += n.Resets
+	}
+	if totalResets == 0 {
+		t.Error("no server ever reset")
+	}
+}
+
+func TestIMServiceStaysCorrect(t *testing.T) {
+	svc, err := New(Config{
+		Seed:    2,
+		Delay:   simnet.Uniform{Max: 0.01},
+		Fn:      core.IM{},
+		Servers: correctSpecs(6, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := svc.RunSampled(600, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !s.AllCorrect {
+			t.Fatalf("t=%v: correctness lost under IM", s.T)
+		}
+	}
+}
+
+// TestTheorem2ErrorBound: under MM in a full mesh, every server's error is
+// bounded by E_M + xi + delta_i(tau + 2 xi) (checked with the paper's
+// slightly looser (1+2delta) xi form plus float slack).
+func TestTheorem2ErrorBound(t *testing.T) {
+	const tau = 10.0
+	svc, err := New(Config{
+		Seed:    3,
+		Delay:   simnet.Uniform{Max: 0.01},
+		Fn:      core.MM{},
+		Servers: correctSpecs(6, tau),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi := svc.Net.Xi()
+	samples, err := svc.RunSampled(1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.T < 3*tau {
+			continue // let every server complete a few rounds first
+		}
+		for i, e := range s.E {
+			delta := svc.Nodes[i].Spec.Delta
+			// The collection window delays the reset by up to the window
+			// itself, so charge one extra xi of slack beyond the theorem's
+			// instantaneous-application form.
+			bound := s.MinError + (1+2*delta)*xi + delta*(tau+2*xi) + xi
+			if e > bound+1e-9 {
+				t.Fatalf("t=%v server %d: E=%v exceeds Theorem 2 bound %v (E_M=%v)",
+					s.T, i, e, bound, s.MinError)
+			}
+		}
+	}
+}
+
+// TestTheorem7IMAsynchronism: under IM the asynchronism stays within
+// xi + (delta_i + delta_j) tau (plus the collection-window slack).
+func TestTheorem7IMAsynchronism(t *testing.T) {
+	const tau = 10.0
+	svc, err := New(Config{
+		Seed:    4,
+		Delay:   simnet.Uniform{Max: 0.01},
+		Fn:      core.IM{},
+		Servers: correctSpecs(6, tau),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi := svc.Net.Xi()
+	samples, err := svc.RunSampled(1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDelta := 0.0
+	for _, sp := range svc.Nodes {
+		if sp.Spec.Delta > maxDelta {
+			maxDelta = sp.Spec.Delta
+		}
+	}
+	bound := xi + 2*maxDelta*tau + xi // extra xi: collection window
+	for _, s := range samples {
+		if s.T < 3*tau {
+			continue
+		}
+		if s.MaxAsync > bound+1e-9 {
+			t.Fatalf("t=%v: asynchronism %v exceeds Theorem 7 bound %v", s.T, s.MaxAsync, bound)
+		}
+	}
+}
+
+// TestIMTighterThanMM reproduces the Section 4 observation: under IM the
+// error grows much more slowly than under MM for the same service. The
+// gain appears in Theorem 8's regime: claimed bounds close to the actual
+// drifts, with real drifts spanning the claimed range in both directions,
+// so the fastest clock's trailing edge and the slowest clock's leading
+// edge pin the intersection near the true time.
+func TestIMTighterThanMM(t *testing.T) {
+	drifts := []float64{1e-5, -2e-5, 3e-5, -4e-5, 5e-5, -6e-5, 7e-5, -8e-5}
+	run := func(fn core.SyncFunc) float64 {
+		specs := make([]ServerSpec, len(drifts))
+		for i, d := range drifts {
+			specs[i] = ServerSpec{
+				Delta:        1.02 * math.Abs(d), // tight, valid bound
+				Drift:        d,
+				InitialError: 0.05,
+				SyncEvery:    60,
+			}
+		}
+		svc, err := New(Config{
+			Seed:    5,
+			Delay:   simnet.Uniform{Max: 0.0005},
+			Fn:      fn,
+			Servers: specs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := svc.RunSampled(86400, 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range samples {
+			if !s.AllCorrect {
+				t.Fatalf("%s: correctness lost at t=%v", fn.Name(), s.T)
+			}
+		}
+		final := samples[len(samples)-1]
+		mean := 0.0
+		for _, e := range final.E {
+			mean += e
+		}
+		return mean / float64(len(final.E))
+	}
+	mm := run(core.MM{})
+	im := run(core.IM{})
+	if im >= mm {
+		t.Errorf("IM mean error %v not smaller than MM's %v", im, mm)
+	}
+	if mm/im < 3 {
+		t.Errorf("IM improvement only %.2fx; expected a clear gap (paper saw ~10x)", mm/im)
+	}
+}
+
+// TestRecoveryFaultyDrift reproduces the Section 3 experiment: a two
+// server network where one clock is four percent fast with a claimed
+// bound of one second a day; each reset finds the pair inconsistent and
+// recovers from a third server on another network.
+func TestRecoveryFaultyDrift(t *testing.T) {
+	const day = 86400.0
+	specs := []ServerSpec{
+		{ // S0: healthy, modest clock.
+			Delta:        2.0 / day,
+			Drift:        1.0 / day,
+			InitialError: 0.5,
+			SyncEvery:    600,
+			Recovery:     true,
+		},
+		{ // S1: claims one second a day, actually four percent fast.
+			Delta:        1.0 / day,
+			Drift:        0.04,
+			InitialError: 0.5,
+			SyncEvery:    600,
+			Recovery:     true,
+		},
+		{ // S2: the reference server on "another network".
+			Delta:        2.0 / day,
+			Drift:        -1.0 / day,
+			InitialError: 0.5,
+			SyncEvery:    600,
+		},
+	}
+	svc, err := New(Config{
+		Seed:     6,
+		Delay:    simnet.Uniform{Max: 0.05},
+		Topology: Custom,
+		Fn:       core.MM{},
+		Servers:  specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S0-S1 share a network; S2 is reachable from both (via internet).
+	for _, pair := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		if err := svc.Link(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples, err := svc.RunSampled(6*3600, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := svc.Nodes[1]
+	if faulty.Server.Inconsistencies() == 0 {
+		t.Error("faulty server never observed inconsistency")
+	}
+	if faulty.Recoveries == 0 {
+		t.Error("faulty server never recovered")
+	}
+	// The healthy server must stay correct throughout.
+	for _, s := range samples {
+		if iv := svc.Nodes[0].Server.Interval(s.T); false && !iv.Contains(s.T) {
+			t.Fatalf("healthy server incorrect at %v", s.T)
+		}
+		if math.Abs(s.Offset[0]) > s.E[0]+1e-9 {
+			t.Fatalf("healthy server incorrect at t=%v: offset %v error %v",
+				s.T, s.Offset[0], s.E[0])
+		}
+	}
+	// The faulty clock is pulled back repeatedly: despite gaining ~144s/h,
+	// its final offset is far below the unchecked 4% drift.
+	final := samples[len(samples)-1]
+	unchecked := 0.04 * final.T
+	if math.Abs(final.Offset[1]) > unchecked/10 {
+		t.Errorf("faulty server offset %v; recovery should keep it well below %v",
+			final.Offset[1], unchecked)
+	}
+}
+
+// TestRecoveryDisabledFaultyDriftsAway is the control: without recovery
+// the faulty server's clock runs off by hours.
+func TestRecoveryDisabledFaultyDriftsAway(t *testing.T) {
+	const day = 86400.0
+	specs := []ServerSpec{
+		{Delta: 2.0 / day, Drift: 0, InitialError: 0.5, SyncEvery: 600},
+		{Delta: 1.0 / day, Drift: 0.04, InitialError: 0.5, SyncEvery: 600},
+	}
+	svc, err := New(Config{
+		Seed:    7,
+		Delay:   simnet.Uniform{Max: 0.05},
+		Fn:      core.MM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Run(6 * 3600)
+	s := svc.Snapshot()
+	if s.Offset[1] < 100 {
+		t.Errorf("faulty offset %v; expected large unchecked drift", s.Offset[1])
+	}
+	if s.Consistent {
+		t.Error("service should have become inconsistent")
+	}
+	if s.Groups < 2 {
+		t.Errorf("expected >= 2 consistency groups, got %d", s.Groups)
+	}
+}
+
+func TestNoSyncServersDriftApart(t *testing.T) {
+	specs := []ServerSpec{
+		{Delta: 2e-4, Drift: 1e-4, InitialError: 0.01},
+		{Delta: 2e-4, Drift: -1e-4, InitialError: 0.01},
+	}
+	svc, err := New(Config{Seed: 8, Servers: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Run(10000)
+	s := svc.Snapshot()
+	// Separation rate 2e-4 over 10000 s = 2 s.
+	if s.MaxAsync < 1.9 {
+		t.Errorf("MaxAsync = %v, want ~2", s.MaxAsync)
+	}
+	// Errors grew correspondingly and remained correct bounds.
+	if !s.AllCorrect {
+		t.Error("drifting but honest servers must remain correct")
+	}
+	for _, n := range svc.Nodes {
+		if n.Resets != 0 {
+			t.Error("server without SyncEvery reset its clock")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Sample {
+		svc, err := New(Config{
+			Seed:    99,
+			Delay:   simnet.Uniform{Max: 0.02},
+			Fn:      core.IM{},
+			Servers: correctSpecs(5, 7),
+			Loss:    0.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.Run(500)
+		return svc.Snapshot()
+	}
+	a, b := run(), run()
+	for i := range a.C {
+		if a.C[i] != b.C[i] || a.E[i] != b.E[i] {
+			t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestLossToleratedByMM(t *testing.T) {
+	svc, err := New(Config{
+		Seed:    10,
+		Delay:   simnet.Uniform{Max: 0.01},
+		Loss:    0.3,
+		Fn:      core.MM{},
+		Servers: correctSpecs(5, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := svc.RunSampled(600, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !s.AllCorrect {
+			t.Fatalf("correctness lost under loss at t=%v", s.T)
+		}
+	}
+	if svc.Net.Stats.Lost == 0 {
+		t.Error("no messages were lost; loss model inactive?")
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	for _, topo := range []Topology{FullMesh, Ring, Line, Star} {
+		svc, err := New(Config{
+			Seed:     11,
+			Delay:    simnet.Uniform{Max: 0.01},
+			Topology: topo,
+			Fn:       core.MM{},
+			Servers:  correctSpecs(5, 10),
+		})
+		if err != nil {
+			t.Fatalf("topology %d: %v", topo, err)
+		}
+		samples, err := svc.RunSampled(300, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range samples {
+			if !s.AllCorrect {
+				t.Fatalf("topology %d: correctness lost", topo)
+			}
+		}
+	}
+}
+
+func TestCustomTopologyUnlinkedNodeNeverSyncs(t *testing.T) {
+	svc, err := New(Config{
+		Seed:     12,
+		Topology: Custom,
+		Servers:  correctSpecs(3, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Link(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	svc.Run(100)
+	if svc.Nodes[2].Syncs != 0 {
+		t.Error("isolated server completed a sync round")
+	}
+	if svc.Nodes[0].Syncs == 0 {
+		t.Error("linked server never synced")
+	}
+}
+
+func TestRandomWalkClocksStayCorrect(t *testing.T) {
+	specs := make([]ServerSpec, 4)
+	for i := range specs {
+		i := i
+		maxDrift := 5e-5
+		specs[i] = ServerSpec{
+			Delta:        maxDrift,
+			InitialError: 0.05,
+			SyncEvery:    10,
+			NewClock: func(at, value float64) clock.Clock {
+				return clock.NewRandomWalk(at, value, clock.RandomWalkConfig{
+					MaxDrift: maxDrift,
+					Step:     5,
+					Seed:     uint64(100 + i),
+				})
+			},
+		}
+	}
+	svc, err := New(Config{
+		Seed:    13,
+		Delay:   simnet.Uniform{Max: 0.01},
+		Fn:      core.IM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := svc.RunSampled(600, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !s.AllCorrect {
+			t.Fatalf("random-walk service lost correctness at t=%v", s.T)
+		}
+	}
+}
+
+func TestRunSampledValidation(t *testing.T) {
+	svc, err := New(Config{Seed: 1, Servers: correctSpecs(2, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RunSampled(10, 0); err == nil {
+		t.Error("zero sample period should error")
+	}
+}
+
+func TestStopHaltsSyncing(t *testing.T) {
+	svc, err := New(Config{Seed: 14, Servers: correctSpecs(3, 5), NoStagger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Run(20)
+	svc.Stop()
+	before := svc.Nodes[0].Syncs
+	svc.Run(100)
+	// One in-flight round may complete after Stop; no new rounds start.
+	if got := svc.Nodes[0].Syncs; got > before+1 {
+		t.Errorf("syncs continued after Stop: %d -> %d", before, got)
+	}
+}
+
+func TestRateTrackerPopulatedByProtocol(t *testing.T) {
+	svc, err := New(Config{
+		Seed:    15,
+		Delay:   simnet.Uniform{Max: 0.005},
+		Servers: correctSpecs(3, 5),
+		// MM with valid bounds rarely resets after converging; rates
+		// accumulate between resets.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Run(300)
+	anyValid := false
+	for _, n := range svc.Nodes {
+		for j := range svc.Nodes {
+			if j == n.Server.ID() {
+				continue
+			}
+			if n.Rates.Estimate(j).Valid {
+				anyValid = true
+			}
+		}
+	}
+	if !anyValid {
+		t.Error("no rate estimates accumulated")
+	}
+}
+
+func TestSnapshotMinErrorServer(t *testing.T) {
+	specs := []ServerSpec{
+		{Delta: 1e-5, InitialError: 0.5},
+		{Delta: 1e-5, InitialError: 0.1},
+		{Delta: 1e-5, InitialError: 0.9},
+	}
+	svc, err := New(Config{Seed: 16, Servers: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := svc.Snapshot()
+	if s.MinErrorServer != 1 {
+		t.Errorf("MinErrorServer = %d, want 1", s.MinErrorServer)
+	}
+	if s.MinError != 0.1 {
+		t.Errorf("MinError = %v, want 0.1", s.MinError)
+	}
+}
+
+func TestOnSyncHook(t *testing.T) {
+	svc, err := New(Config{Seed: 20, Servers: correctSpecs(3, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	var nodesSeen []int
+	svc.OnSync(func(node int, at float64, res core.Result) {
+		calls++
+		nodesSeen = append(nodesSeen, node)
+		if at <= 0 {
+			t.Errorf("hook at non-positive time %v", at)
+		}
+	})
+	svc.Run(100)
+	if calls == 0 {
+		t.Fatal("OnSync never fired")
+	}
+	seen := make(map[int]bool)
+	for _, n := range nodesSeen {
+		seen[n] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("hook saw nodes %v, want all 3", nodesSeen)
+	}
+	svc.OnSync(nil) // removable without panic
+	svc.Run(150)
+}
+
+func TestPartitionSplitsIntoConsistencyGroups(t *testing.T) {
+	// Partition a service into halves whose clocks drift apart; after
+	// enough time the service is inconsistent across the cut, then heals.
+	specs := []ServerSpec{
+		{Delta: 2e-4, Drift: 1.5e-4, InitialError: 0.01, SyncEvery: 10},
+		{Delta: 2e-4, Drift: 1.4e-4, InitialError: 0.01, SyncEvery: 10},
+		{Delta: 2e-4, Drift: -1.5e-4, InitialError: 0.01, SyncEvery: 10},
+		{Delta: 2e-4, Drift: -1.4e-4, InitialError: 0.01, SyncEvery: 10},
+	}
+	// Claimed bounds are valid, so intervals stay correct and overlap;
+	// to force observable divergence the partitioned halves must hold
+	// invalid bounds. Use claimed bounds far below actual drift.
+	for i := range specs {
+		specs[i].Delta = 1e-6
+	}
+	svc, err := New(Config{
+		Seed:    21,
+		Delay:   simnet.Uniform{Max: 0.005},
+		Fn:      core.MM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.PartitionAt(50, []int{0, 1}, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	svc.HealAt(100000)
+	svc.Run(20000)
+	s := svc.Snapshot()
+	if s.Consistent {
+		t.Error("partitioned halves with invalid bounds should be inconsistent")
+	}
+	if s.Groups < 2 {
+		t.Errorf("Groups = %d, want >= 2", s.Groups)
+	}
+	// Within each half the clocks stayed far closer than across the cut
+	// (they tracked each other while consistent; with invalid bounds the
+	// pair eventually goes inconsistent too and separates slowly).
+	intra := math.Max(math.Abs(s.C[0]-s.C[1]), math.Abs(s.C[2]-s.C[3]))
+	cross := math.Abs(s.C[0] - s.C[2])
+	if intra > 0.5 {
+		t.Errorf("intra-half divergence %v too large", intra)
+	}
+	if cross < 2 {
+		t.Errorf("halves did not diverge across the cut: %v", cross)
+	}
+	if cross < 5*intra {
+		t.Errorf("cross divergence %v not dominating intra %v", cross, intra)
+	}
+}
+
+func TestPartitionAtValidation(t *testing.T) {
+	svc, err := New(Config{Seed: 22, Servers: correctSpecs(2, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.PartitionAt(10, []int{0, 99}); err == nil {
+		t.Error("bad server index accepted")
+	}
+}
+
+func TestSelectIMServiceToleratesFalseticker(t *testing.T) {
+	// A service with one wildly wrong clock: plain IM stalls (no resets
+	// once inconsistent), SelectIM keeps the honest majority synchronized.
+	build := func(fn core.SyncFunc) *Service {
+		specs := correctSpecs(5, 10)
+		specs[4] = ServerSpec{
+			Delta:        1e-6, // claims near-perfect
+			Drift:        0.01, // actually 1% fast
+			InitialError: 0.05,
+			SyncEvery:    10,
+		}
+		svc, err := New(Config{
+			Seed:    23,
+			Delay:   simnet.Uniform{Max: 0.005},
+			Fn:      fn,
+			Servers: specs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+
+	// Plain IM: once the falseticker is inconsistent, rule IM-2 refuses
+	// to act, so servers stop resetting and errors grow without bound.
+	plain := build(core.IM{})
+	plain.Run(3600)
+	plainResets := 0
+	for _, n := range plain.Nodes[:4] {
+		plainResets += n.Resets
+	}
+
+	sel := build(core.SelectIM{})
+	sel.Run(3600)
+	s := sel.Snapshot()
+	selResets := 0
+	for _, n := range sel.Nodes[:4] {
+		selResets += n.Resets
+	}
+	if selResets <= plainResets {
+		t.Errorf("SelectIM resets (%d) not above stalled IM (%d)", selResets, plainResets)
+	}
+	// The honest servers stay near the true time: the falseticker can
+	// pull a sync by at most its per-period excursion (~0.1 s), not
+	// accumulate. (It cannot be excluded entirely: right after its own
+	// reset its tight-but-wrong interval is consistent with the others —
+	// the Figure 3 vulnerability the paper describes for intersection
+	// functions.)
+	for i := 0; i < 4; i++ {
+		if math.Abs(s.Offset[i]) > 0.3 {
+			t.Errorf("honest server %d pulled too far under SelectIM: offset %v",
+				i, s.Offset[i])
+		}
+	}
+	// And they stay mutually synchronized.
+	maxHonest := 0.0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if d := math.Abs(s.C[i] - s.C[j]); d > maxHonest {
+				maxHonest = d
+			}
+		}
+	}
+	if maxHonest > 0.5 {
+		t.Errorf("honest servers diverged under SelectIM: %v", maxHonest)
+	}
+}
+
+func TestSlewedServiceStaysCorrect(t *testing.T) {
+	// Servers disciplining their clocks by slewing (never stepping) must
+	// remain correct: the pending correction is charged to the error.
+	specs := correctSpecs(5, 10)
+	for i := range specs {
+		specs[i].SlewRate = 0.01 // 1% adjustment rate
+	}
+	svc, err := New(Config{
+		Seed:    30,
+		Delay:   simnet.Uniform{Max: 0.005},
+		Fn:      core.IM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := svc.RunSampled(600, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !s.AllCorrect {
+			t.Fatalf("slewed service lost correctness at t=%v", s.T)
+		}
+	}
+	// Verify monotonicity directly on one server's clock across a dense
+	// re-sampling of the same run: clocks never step backward under
+	// slewing.
+	svc2, err := New(Config{
+		Seed:    30,
+		Delay:   simnet.Uniform{Max: 0.005},
+		Fn:      core.IM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	for step := 1; step <= 1200; step++ {
+		at := float64(step) * 0.5
+		svc2.Run(at)
+		v := svc2.Nodes[0].Server.Read(at)
+		if v < prev-1e-9 {
+			t.Fatalf("slewed clock went backward at t=%v: %v < %v", at, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSinusoidalOscillatorsStayCorrect(t *testing.T) {
+	// Thermally-cycling oscillators: the rate amplitude is a valid
+	// claimed bound, so the service must remain correct.
+	specs := make([]ServerSpec, 4)
+	for i := range specs {
+		i := i
+		amp := 5e-5 * float64(i+1)
+		specs[i] = ServerSpec{
+			Delta:        amp,
+			InitialError: 0.05,
+			SyncEvery:    20,
+			NewClock: func(at, value float64) clock.Clock {
+				return clock.NewSinusoid(at, value, amp, 600, float64(i))
+			},
+		}
+	}
+	svc, err := New(Config{
+		Seed:    40,
+		Delay:   simnet.Uniform{Max: 0.005},
+		Fn:      core.IM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := svc.RunSampled(1800, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !s.AllCorrect {
+			t.Fatalf("sinusoidal service lost correctness at t=%v", s.T)
+		}
+	}
+}
+
+func TestAsymmetricLinksStayCorrect(t *testing.T) {
+	// Requests travel fast, replies crawl (or vice versa): the requester
+	// can only measure the sum, which is exactly the paper's model. The
+	// algorithms must stay correct as long as xi bounds the round trip.
+	svc, err := New(Config{
+		Seed:     41,
+		Topology: Custom,
+		Fn:       core.IM{},
+		Servers:  correctSpecs(4, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := simnet.LinkConfig{
+		Delay:        simnet.Uniform{Max: 0.002},
+		ReverseDelay: simnet.Uniform{Min: 0.02, Max: 0.08},
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if err := svc.Net.Connect(svc.Nodes[i].NetID, svc.Nodes[j].NetID, link); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	samples, err := svc.RunSampled(600, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !s.AllCorrect {
+			t.Fatalf("asymmetric-link service lost correctness at t=%v", s.T)
+		}
+	}
+}
+
+func TestCollectForOverride(t *testing.T) {
+	svc, err := New(Config{
+		Seed:       42,
+		CollectFor: 0.5,
+		Servers:    correctSpecs(2, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.CollectWindow(); got != 0.5 {
+		t.Errorf("CollectWindow = %v, want override 0.5", got)
+	}
+}
+
+func TestNoStaggerLockstep(t *testing.T) {
+	svc, err := New(Config{
+		Seed:      43,
+		NoStagger: true,
+		Servers:   correctSpecs(3, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All first rounds fire at exactly t=0 in lockstep.
+	firstSyncs := make(map[int]float64)
+	svc.OnSync(func(node int, at float64, _ core.Result) {
+		if _, seen := firstSyncs[node]; !seen {
+			firstSyncs[node] = at
+		}
+	})
+	svc.Run(50)
+	if len(firstSyncs) != 3 {
+		t.Fatalf("first syncs = %v", firstSyncs)
+	}
+	window := svc.CollectWindow()
+	for node, at := range firstSyncs {
+		if math.Abs(at-window) > 1e-9 {
+			t.Errorf("node %d first sync at %v, want lockstep at window %v", node, at, window)
+		}
+	}
+}
+
+func TestRateFilterExcludesPersistentOffender(t *testing.T) {
+	// A bad upstream: a server that never synchronizes, claims a tight
+	// bound, and races beyond it. While interval-consistent it drags the
+	// honest servers (the Figure 3 hazard); the Section 5 rate filter
+	// sees its oscillator-level separation rate and excludes it long
+	// before the intervals give it away. (An offender that resets with
+	// the pack is invisible to value-rate consonance — that blind spot is
+	// measured by ablation A7.)
+	build := func(rateFilter bool) *Service {
+		// Honest servers with small, tightly-bounded drifts: against them
+		// the offender's separation rate provably exceeds the combined
+		// claimed bounds. (A high-delta honest node could not prove the
+		// offender wrong — consonance is pairwise-ambiguous — which is
+		// why the pack here is uniformly good.)
+		honestDrifts := []float64{0.3e-5, -0.5e-5, 0.7e-5, -1e-5}
+		specs := make([]ServerSpec, 5)
+		for i, d := range honestDrifts {
+			specs[i] = ServerSpec{
+				Delta:        1.5 * math.Abs(d),
+				Drift:        d,
+				InitialError: 0.05,
+				SyncEvery:    30,
+			}
+		}
+		specs[4] = ServerSpec{
+			Delta:        1e-5,
+			Drift:        8e-5,
+			InitialError: 0.05,
+			// Pure upstream: serves, never resets.
+		}
+		for i := range specs {
+			specs[i].RateFilter = rateFilter
+			specs[i].RateFilterAfter = 120
+		}
+		svc, err := New(Config{
+			Seed:    50,
+			Delay:   simnet.Uniform{Max: 0.002},
+			Fn:      core.IM{DropInconsistent: true},
+			Servers: specs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+
+	unprotected := build(false)
+	samplesU, err := unprotected.RunSampled(7200, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := build(true)
+	samplesP, err := protected.RunSampled(7200, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	correctFrac := func(samples []Sample) float64 {
+		correct, total := 0, 0
+		for _, s := range samples {
+			if s.T < 600 {
+				continue // let the filter accumulate span
+			}
+			for i := 0; i < 4; i++ {
+				total++
+				if math.Abs(s.Offset[i]) <= s.E[i] {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	fracU := correctFrac(samplesU)
+	fracP := correctFrac(samplesP)
+	if fracP < 0.95 {
+		t.Errorf("rate-filtered service only %.0f%% correct", fracP*100)
+	}
+	if fracP <= fracU {
+		t.Errorf("rate filter did not improve correctness: %.2f vs %.2f", fracP, fracU)
+	}
+	filtered := 0
+	for _, n := range protected.Nodes[:4] {
+		filtered += n.RateFiltered
+	}
+	if filtered == 0 {
+		t.Error("filter never excluded the offender")
+	}
+}
+
+func TestRateFilterLeavesHonestServiceAlone(t *testing.T) {
+	// With valid bounds everywhere the filter must not exclude anyone.
+	specs := correctSpecs(5, 10)
+	for i := range specs {
+		specs[i].RateFilter = true
+		specs[i].RateFilterAfter = 60
+	}
+	svc, err := New(Config{
+		Seed:    51,
+		Delay:   simnet.Uniform{Max: 0.002},
+		Fn:      core.IM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := svc.RunSampled(3600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !s.AllCorrect {
+			t.Fatalf("honest filtered service lost correctness at t=%v", s.T)
+		}
+	}
+	for _, n := range svc.Nodes {
+		if n.RateFiltered != 0 {
+			t.Errorf("server %d filtered %d honest replies", n.Server.ID(), n.RateFiltered)
+		}
+	}
+}
+
+func TestConsonanceReportFlagsOffender(t *testing.T) {
+	// A non-resetting upstream racing beyond its claimed bound: the
+	// service-wide Section 5 diagnosis must point at it and only it.
+	honestDrifts := []float64{0.3e-5, -0.5e-5, 0.7e-5, -1e-5}
+	specs := make([]ServerSpec, 5)
+	for i, d := range honestDrifts {
+		specs[i] = ServerSpec{
+			Delta: 1.5 * math.Abs(d), Drift: d, InitialError: 0.05, SyncEvery: 30,
+		}
+	}
+	specs[4] = ServerSpec{Delta: 1e-5, Drift: 8e-5, InitialError: 0.05}
+	svc, err := New(Config{
+		Seed:    60,
+		Delay:   simnet.Uniform{Max: 0.002},
+		Fn:      core.MM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Run(3600)
+	report := svc.Consonance()
+	suspects := report.Suspects(2)
+	if len(suspects) != 1 || suspects[0] != 4 {
+		t.Errorf("Suspects(2) = %v, want [4]; counts %v", suspects, report.DissonanceCount)
+	}
+	for _, p := range report.DissonantPairs {
+		if p[1] != 4 {
+			t.Errorf("honest server %d flagged by %d", p[1], p[0])
+		}
+	}
+	if report.Estimates[0][4].Valid == false {
+		t.Error("observer 0 has no estimate of the offender")
+	}
+}
+
+func TestConsonanceReportCleanService(t *testing.T) {
+	svc, err := New(Config{
+		Seed:    61,
+		Delay:   simnet.Uniform{Max: 0.002},
+		Fn:      core.IM{},
+		Servers: correctSpecs(4, 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Run(1200)
+	report := svc.Consonance()
+	if len(report.DissonantPairs) != 0 {
+		t.Errorf("clean service flagged pairs %v", report.DissonantPairs)
+	}
+	if got := report.Suspects(1); got != nil {
+		t.Errorf("Suspects = %v", got)
+	}
+}
+
+// TestScaleSoak runs a large service for several simulated hours: 48
+// servers, full mesh (1128 links), IM. Correctness must hold at every
+// sample and the run must be deterministic. Skipped under -short.
+func TestScaleSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	run := func() ([]Sample, int) {
+		specs := make([]ServerSpec, 48)
+		for i := range specs {
+			mag := (1 + float64(i%12)) * 1e-5
+			drift := mag
+			if i%2 == 1 {
+				drift = -mag
+			}
+			specs[i] = ServerSpec{
+				Delta:         1.1 * mag,
+				Drift:         drift,
+				InitialOffset: float64(i%5-2) * 0.005,
+				InitialError:  0.05,
+				SyncEvery:     60,
+			}
+		}
+		svc, err := New(Config{
+			Seed:    70,
+			Delay:   simnet.Uniform{Max: 0.01},
+			Fn:      core.IM{},
+			Servers: specs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := svc.RunSampled(4*3600, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resets := 0
+		for _, n := range svc.Nodes {
+			resets += n.Resets
+		}
+		return samples, resets
+	}
+	samples, resets := run()
+	for _, s := range samples {
+		if !s.AllCorrect {
+			t.Fatalf("t=%v: correctness lost at scale", s.T)
+		}
+		if !s.Consistent {
+			t.Fatalf("t=%v: consistency lost at scale", s.T)
+		}
+	}
+	if resets == 0 {
+		t.Fatal("no resets in a 4h run")
+	}
+	// Determinism at scale: an identical run produces identical samples.
+	again, resets2 := run()
+	if resets != resets2 {
+		t.Fatalf("reset counts diverged: %d vs %d", resets, resets2)
+	}
+	for i := range samples {
+		for j := range samples[i].C {
+			if samples[i].C[j] != again[i].C[j] {
+				t.Fatalf("sample %d server %d diverged", i, j)
+			}
+		}
+	}
+}
+
+func TestAdaptiveDeltaHealsFaultyServer(t *testing.T) {
+	// The Section 3 faulty server (4% fast, claims 1 s/day) with the
+	// thesis's delta maintenance: it learns its real drift from its
+	// neighbors' rates, raises its bound, repairs its error bookkeeping,
+	// and rejoins the service as a correct (if poor) citizen — no
+	// third-server recovery needed.
+	const day = 86400.0
+	specs := []ServerSpec{
+		{Delta: 2.0 / day, Drift: 1.0 / day, InitialError: 0.5, SyncEvery: 60},
+		{
+			Delta: 1.0 / day, Drift: 0.04, InitialError: 0.5, SyncEvery: 60,
+			AdaptiveDelta: true, AdaptAfter: 300,
+		},
+		{Delta: 2.0 / day, Drift: -1.0 / day, InitialError: 0.5, SyncEvery: 60},
+	}
+	svc, err := New(Config{
+		Seed:    80,
+		Delay:   simnet.Uniform{Max: 0.02},
+		Fn:      core.MM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Run(7200)
+	faulty := svc.Nodes[1]
+	if faulty.DeltaRaises == 0 {
+		t.Fatal("faulty server never adapted its bound")
+	}
+	if got := faulty.Server.Delta(); got < 0.03 {
+		t.Errorf("adapted delta = %v, want >= ~0.04 (the real drift)", got)
+	}
+	// With an honest bound the server is correct again and the service
+	// consistent.
+	s := svc.Snapshot()
+	if math.Abs(s.Offset[1]) > s.E[1] {
+		t.Errorf("adapted server still incorrect: offset %v, E %v", s.Offset[1], s.E[1])
+	}
+	if !s.AllCorrect {
+		t.Error("service not all-correct after adaptation")
+	}
+	if !s.Consistent {
+		t.Error("service not consistent after adaptation")
+	}
+}
+
+func TestAdaptiveDeltaLeavesValidBoundsAlone(t *testing.T) {
+	specs := correctSpecs(4, 30)
+	for i := range specs {
+		specs[i].AdaptiveDelta = true
+		specs[i].AdaptAfter = 120
+	}
+	svc, err := New(Config{
+		Seed:    81,
+		Delay:   simnet.Uniform{Max: 0.002},
+		Fn:      core.IM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Run(3600)
+	for i, n := range svc.Nodes {
+		if n.DeltaRaises != 0 {
+			t.Errorf("server %d with a valid bound raised delta %d times (to %v)",
+				i, n.DeltaRaises, n.Server.Delta())
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package sim is a deterministic discrete-event simulation kernel. It
+// replaces the wall-clock testbed of the paper's experiments (the Xerox
+// Research Internet) with a virtual real-time axis: events are callbacks
+// scheduled at absolute virtual times and executed in time order, with FIFO
+// ordering among events at the same instant. A seeded PRNG makes every run
+// reproducible.
+//
+// The kernel is single-threaded by design: determinism is what lets the
+// test suite assert the paper's theorem bounds on every simulated state.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+)
+
+// Event is a scheduled callback. Cancel prevents a pending event from
+// running; cancelling a fired or already-cancelled event is a no-op.
+type Event struct {
+	at        float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Time returns the virtual time at which the event is scheduled.
+func (e *Event) Time() float64 { return e.at }
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock, the event queue, and the run's PRNG.
+type Simulator struct {
+	now   float64
+	queue eventQueue
+	rng   *rand.Rand
+	seq   uint64
+	steps uint64
+}
+
+// New returns a simulator at virtual time zero whose PRNG is seeded with
+// seed. The same seed always reproduces the same run.
+func New(seed uint64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewPCG(seed, seed^0xda942042e4dd58b5))}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Rand returns the run's PRNG. All stochastic choices in a simulation must
+// draw from it (or from PRNGs derived from it) to preserve determinism.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: it would silently reorder causality.
+func (s *Simulator) At(at float64, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (s *Simulator) After(d float64, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run every period seconds, starting period seconds
+// from now, until the returned stop function is called. period must be
+// positive.
+func (s *Simulator) Every(period float64, fn func()) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	stopped := false
+	var tick func()
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			pending = s.After(period, tick)
+		}
+	}
+	pending = s.After(period, tick)
+	return func() {
+		stopped = true
+		pending.Cancel()
+	}
+}
+
+// Step executes the next pending event. It reports false when the queue is
+// empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events with time <= t and then advances the virtual
+// clock to exactly t.
+func (s *Simulator) RunUntil(t float64) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, s.now))
+	}
+	for len(s.queue) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	s.now = t
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// Pending returns the number of scheduled, uncancelled events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// peek returns the earliest uncancelled event without running it, popping
+// cancelled ones lazily.
+func (s *Simulator) peek() *Event {
+	for len(s.queue) > 0 {
+		if e := s.queue[0]; e.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Errorf("ran %d events, want 5", len(got))
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now() = %v, want 5", s.Now())
+	}
+	if s.Steps() != 5 {
+		t.Errorf("Steps() = %v, want 5", s.Steps())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(7, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	s := New(1)
+	var at float64
+	s.At(10, func() {
+		s.After(5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 15 {
+		t.Errorf("After fired at %v, want 15", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling in the past")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative delay")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	e := s.At(5, func() { ran = true })
+	e.Cancel()
+	s.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	// Double-cancel and nil-cancel are harmless.
+	e.Cancel()
+	var nilEvent *Event
+	nilEvent.Cancel()
+}
+
+func TestCancelInterleaved(t *testing.T) {
+	s := New(1)
+	var got []string
+	a := s.At(1, func() { got = append(got, "a") })
+	s.At(2, func() { got = append(got, "b") })
+	c := s.At(3, func() { got = append(got, "c") })
+	a.Cancel()
+	s.At(2.5, func() { c.Cancel() })
+	s.Run()
+	if len(got) != 1 || got[0] != "b" {
+		t.Errorf("got %v, want [b]", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.RunUntil(3)
+	if len(got) != 3 {
+		t.Errorf("RunUntil(3) ran %d events, want 3", len(got))
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now() = %v, want 3", s.Now())
+	}
+	s.RunUntil(10)
+	if len(got) != 5 {
+		t.Errorf("RunUntil(10) total %d events, want 5", len(got))
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now() = %v, want exactly 10", s.Now())
+	}
+}
+
+func TestRunUntilBackwardsPanics(t *testing.T) {
+	s := New(1)
+	s.RunUntil(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.RunUntil(4)
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.At(3, func() { ran = true })
+	s.RunUntil(3)
+	if !ran {
+		t.Error("event exactly at boundary did not run")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New(1)
+	var times []float64
+	stop := s.Every(10, func() { times = append(times, s.Now()) })
+	s.At(35, func() { stop() })
+	s.RunUntil(100)
+	want := []float64{10, 20, 30}
+	if len(times) != len(want) {
+		t.Fatalf("ticks at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks at %v, want %v", times, want)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after stop, want 0", s.Pending())
+	}
+}
+
+func TestEveryStopWithinTick(t *testing.T) {
+	s := New(1)
+	n := 0
+	var stop func()
+	stop = s.Every(1, func() {
+		n++
+		if n == 3 {
+			stop()
+		}
+	})
+	s.RunUntil(100)
+	if n != 3 {
+		t.Errorf("ticked %d times, want 3", n)
+	}
+}
+
+func TestEveryBadPeriodPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Every(0, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		s := New(42)
+		var got []float64
+		var schedule func()
+		n := 0
+		schedule = func() {
+			if n >= 100 {
+				return
+			}
+			n++
+			d := s.Rand().Float64() * 10
+			s.After(d, func() {
+				got = append(got, s.Now())
+				schedule()
+			})
+		}
+		schedule()
+		s.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := New(1)
+	e1 := s.At(1, func() {})
+	s.At(2, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Errorf("Pending() = %d, want 2", got)
+	}
+	e1.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Errorf("Pending() after cancel = %d, want 1", got)
+	}
+}
+
+func TestEventTime(t *testing.T) {
+	s := New(1)
+	e := s.At(17, func() {})
+	if e.Time() != 17 {
+		t.Errorf("Time() = %v", e.Time())
+	}
+}
+
+// TestHeapOrderProperty: for any random batch of schedule times, execution
+// order is the sorted order.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(seed uint64, raw []float64) bool {
+		s := New(seed)
+		rng := rand.New(rand.NewPCG(seed, 99))
+		var times []float64
+		for i := 0; i < len(raw) || i < 3; i++ {
+			times = append(times, rng.Float64()*1000)
+		}
+		var got []float64
+		for _, at := range times {
+			at := at
+			s.At(at, func() { got = append(got, at) })
+		}
+		s.Run()
+		return sort.Float64sAreSorted(got) && len(got) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(uint64(i))
+		for j := 0; j < 1000; j++ {
+			s.After(s.Rand().Float64()*100, func() {})
+		}
+		s.Run()
+	}
+}

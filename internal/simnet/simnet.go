@@ -1,0 +1,326 @@
+// Package simnet simulates the communication substrate the paper assumes:
+// servers exchange time requests and replies over links whose delays are
+// nondeterministic but bounded. The paper calls the round-trip bound xi and
+// assumes a zero minimum delay; both are configurable here (the paper notes
+// the algorithms "can easily be extended to take into account nonzero
+// minimum message delay times").
+//
+// The package provides point-to-point links with per-link delay models and
+// loss probability, partitions, and topology builders ranging from the full
+// mesh of the theorems to a multi-network internet in the style of the
+// Xerox Research Internet the authors experimented on.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"disttime/internal/sim"
+)
+
+// NodeID identifies a node within a Network.
+type NodeID int
+
+// Message is a delivered payload. SentAt is the virtual time the message
+// left the sender.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+	SentAt  float64
+}
+
+// Handler consumes messages delivered to a node.
+type Handler func(Message)
+
+// DelayModel samples one-way message delays.
+type DelayModel interface {
+	// Sample draws a one-way delay in seconds.
+	Sample(rng *rand.Rand) float64
+	// Bound returns an upper bound on the sampled delay. The paper's xi (the
+	// round-trip bound) for a link is twice this value.
+	Bound() float64
+}
+
+// Uniform is a delay model drawing uniformly from [Min, Max].
+type Uniform struct {
+	Min float64
+	Max float64
+}
+
+// Sample draws from [Min, Max].
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Float64()*(u.Max-u.Min)
+}
+
+// Bound returns the model's upper bound.
+func (u Uniform) Bound() float64 { return math.Max(u.Min, u.Max) }
+
+// Constant is a fixed-delay model.
+type Constant struct {
+	D float64
+}
+
+// Sample returns the fixed delay.
+func (c Constant) Sample(*rand.Rand) float64 { return c.D }
+
+// Bound returns the fixed delay.
+func (c Constant) Bound() float64 { return c.D }
+
+// TruncExp draws delays Min + Exp(Mean-Min) truncated at Max, a common
+// model for store-and-forward internetwork hops.
+type TruncExp struct {
+	Min  float64
+	Mean float64
+	Max  float64
+}
+
+// Sample draws from the truncated exponential.
+func (e TruncExp) Sample(rng *rand.Rand) float64 {
+	scale := e.Mean - e.Min
+	if scale <= 0 {
+		return e.Min
+	}
+	d := e.Min + rng.ExpFloat64()*scale
+	if d > e.Max {
+		d = e.Max
+	}
+	return d
+}
+
+// Bound returns the truncation bound.
+func (e TruncExp) Bound() float64 { return e.Max }
+
+// LinkConfig describes one directionless link.
+type LinkConfig struct {
+	// Delay is the one-way delay model. Required.
+	Delay DelayModel
+	// ReverseDelay, when non-nil, is used for messages from the
+	// higher-numbered to the lower-numbered endpoint, making the link
+	// asymmetric. The paper distinguishes the request delay sigma from
+	// the reply delay rho; an asymmetric link gives them different
+	// distributions while the requester can still only measure their sum.
+	ReverseDelay DelayModel
+	// Loss is the probability in [0, 1) that a message on this link is
+	// silently dropped.
+	Loss float64
+}
+
+// delayFor picks the delay model for a message travelling from -> to.
+func (cfg LinkConfig) delayFor(from, to NodeID) DelayModel {
+	if cfg.ReverseDelay != nil && from > to {
+		return cfg.ReverseDelay
+	}
+	return cfg.Delay
+}
+
+// bound returns the larger delay bound of the link's two directions.
+func (cfg LinkConfig) bound() float64 {
+	b := cfg.Delay.Bound()
+	if cfg.ReverseDelay != nil {
+		b = math.Max(b, cfg.ReverseDelay.Bound())
+	}
+	return b
+}
+
+type linkKey struct{ a, b NodeID }
+
+func keyFor(a, b NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a: a, b: b}
+}
+
+// Network is a simulated message network bound to a sim.Simulator.
+type Network struct {
+	sim      *sim.Simulator
+	rng      *rand.Rand
+	handlers []Handler
+	links    map[linkKey]LinkConfig
+	group    []int // partition group per node; -1 = default group
+
+	// Stats counts traffic for experiment reporting.
+	Stats Stats
+}
+
+// Stats accumulates network counters.
+type Stats struct {
+	Sent        int
+	Delivered   int
+	Lost        int
+	Partitioned int
+	NoLink      int
+}
+
+// New returns an empty network driven by s.
+func New(s *sim.Simulator) *Network {
+	return &Network{
+		sim:   s,
+		rng:   rand.New(rand.NewPCG(s.Rand().Uint64(), s.Rand().Uint64())),
+		links: make(map[linkKey]LinkConfig),
+	}
+}
+
+// AddNode registers a node and returns its id. The handler may be nil and
+// set later with SetHandler.
+func (n *Network) AddNode(h Handler) NodeID {
+	n.handlers = append(n.handlers, h)
+	n.group = append(n.group, -1)
+	return NodeID(len(n.handlers) - 1)
+}
+
+// SetHandler installs the message handler for id, replacing any previous
+// one.
+func (n *Network) SetHandler(id NodeID, h Handler) {
+	n.handlers[id] = h
+}
+
+// Len returns the number of nodes.
+func (n *Network) Len() int { return len(n.handlers) }
+
+// Connect creates (or replaces) the bidirectional link between a and b.
+// Self-links are rejected: a server's self-reply is modeled at the protocol
+// layer with zero delay, as in the paper's Theorem 2 proof.
+func (n *Network) Connect(a, b NodeID, cfg LinkConfig) error {
+	if a == b {
+		return fmt.Errorf("simnet: self-link on node %d", a)
+	}
+	if !n.valid(a) || !n.valid(b) {
+		return fmt.Errorf("simnet: connect %d-%d: unknown node", a, b)
+	}
+	if cfg.Delay == nil {
+		return fmt.Errorf("simnet: connect %d-%d: nil delay model", a, b)
+	}
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		return fmt.Errorf("simnet: connect %d-%d: loss %v outside [0,1)", a, b, cfg.Loss)
+	}
+	n.links[keyFor(a, b)] = cfg
+	return nil
+}
+
+// Disconnect removes the link between a and b, if any.
+func (n *Network) Disconnect(a, b NodeID) {
+	delete(n.links, keyFor(a, b))
+}
+
+// Connected reports whether a usable link exists between a and b and the
+// two nodes are in the same partition.
+func (n *Network) Connected(a, b NodeID) bool {
+	if !n.valid(a) || !n.valid(b) {
+		return false
+	}
+	if _, ok := n.links[keyFor(a, b)]; !ok {
+		return false
+	}
+	return n.group[a] == n.group[b]
+}
+
+// Neighbors returns the ids linked to id, in increasing order, ignoring
+// partitions (a partition hides a neighbor from traffic, not from the
+// topology).
+func (n *Network) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	for k := range n.links {
+		switch id {
+		case k.a:
+			out = append(out, k.b)
+		case k.b:
+			out = append(out, k.a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Send dispatches payload from one node to another. It returns false if
+// the nodes are not linked or are separated by a partition; message loss
+// is silent (the message counts as sent and then lost). Delivery happens
+// as a scheduled simulator event after the link's sampled delay.
+func (n *Network) Send(from, to NodeID, payload any) bool {
+	if !n.valid(from) || !n.valid(to) {
+		return false
+	}
+	cfg, ok := n.links[keyFor(from, to)]
+	if !ok {
+		n.Stats.NoLink++
+		return false
+	}
+	if n.group[from] != n.group[to] {
+		n.Stats.Partitioned++
+		return false
+	}
+	n.Stats.Sent++
+	if cfg.Loss > 0 && n.rng.Float64() < cfg.Loss {
+		n.Stats.Lost++
+		return true // sent, silently lost
+	}
+	msg := Message{From: from, To: to, Payload: payload, SentAt: n.sim.Now()}
+	n.sim.After(cfg.delayFor(from, to).Sample(n.rng), func() {
+		n.Stats.Delivered++
+		if h := n.handlers[to]; h != nil {
+			h(msg)
+		}
+	})
+	return true
+}
+
+// Broadcast sends payload from id to every neighbor, returning the number
+// of sends that were accepted (linked and not partitioned).
+func (n *Network) Broadcast(from NodeID, payload any) int {
+	sent := 0
+	for _, to := range n.Neighbors(from) {
+		if n.Send(from, to, payload) {
+			sent++
+		}
+	}
+	return sent
+}
+
+// Partition splits the network: nodes in the same group can communicate,
+// nodes in different groups cannot. Nodes absent from every group form one
+// extra implicit group. Messages already in flight are still delivered.
+func (n *Network) Partition(groups ...[]NodeID) {
+	for i := range n.group {
+		n.group[i] = -1
+	}
+	for g, ids := range groups {
+		for _, id := range ids {
+			if n.valid(id) {
+				n.group[id] = g
+			}
+		}
+	}
+}
+
+// Heal removes any partition.
+func (n *Network) Heal() {
+	for i := range n.group {
+		n.group[i] = -1
+	}
+}
+
+// MaxOneWayDelay returns the largest delay bound over all links. The
+// paper's xi — the bound on the time between sending a request and
+// receiving the reply, with instantaneous processing — is twice this.
+func (n *Network) MaxOneWayDelay() float64 {
+	max := 0.0
+	for _, cfg := range n.links {
+		if d := cfg.bound(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Xi returns the paper's round-trip delay bound for this network.
+func (n *Network) Xi() float64 { return 2 * n.MaxOneWayDelay() }
+
+func (n *Network) valid(id NodeID) bool {
+	return id >= 0 && int(id) < len(n.handlers)
+}

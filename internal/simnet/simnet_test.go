@@ -1,0 +1,519 @@
+package simnet
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"disttime/internal/sim"
+)
+
+func newTestNet(t *testing.T, nodes int) (*sim.Simulator, *Network, []NodeID) {
+	t.Helper()
+	s := sim.New(1)
+	n := New(s)
+	ids := make([]NodeID, nodes)
+	for i := range ids {
+		ids[i] = n.AddNode(nil)
+	}
+	return s, n, ids
+}
+
+func TestUniformDelay(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	u := Uniform{Min: 0.01, Max: 0.05}
+	for i := 0; i < 1000; i++ {
+		d := u.Sample(rng)
+		if d < u.Min || d > u.Max {
+			t.Fatalf("sample %v outside [%v, %v]", d, u.Min, u.Max)
+		}
+	}
+	if u.Bound() != 0.05 {
+		t.Errorf("Bound() = %v", u.Bound())
+	}
+	// Degenerate range.
+	d := Uniform{Min: 0.3, Max: 0.3}
+	if got := d.Sample(rng); got != 0.3 {
+		t.Errorf("degenerate Sample = %v", got)
+	}
+}
+
+func TestConstantDelay(t *testing.T) {
+	c := Constant{D: 0.02}
+	if c.Sample(nil) != 0.02 || c.Bound() != 0.02 {
+		t.Errorf("Constant = %v/%v", c.Sample(nil), c.Bound())
+	}
+}
+
+func TestTruncExpDelay(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	e := TruncExp{Min: 0.01, Mean: 0.03, Max: 0.1}
+	sum := 0.0
+	for i := 0; i < 5000; i++ {
+		d := e.Sample(rng)
+		if d < e.Min || d > e.Max {
+			t.Fatalf("sample %v outside [%v, %v]", d, e.Min, e.Max)
+		}
+		sum += d
+	}
+	mean := sum / 5000
+	if mean < 0.02 || mean > 0.04 {
+		t.Errorf("sample mean %v far from configured mean %v", mean, e.Mean)
+	}
+	if e.Bound() != 0.1 {
+		t.Errorf("Bound() = %v", e.Bound())
+	}
+	// Degenerate scale.
+	d := TruncExp{Min: 0.05, Mean: 0.05, Max: 0.1}
+	if got := d.Sample(rng); got != 0.05 {
+		t.Errorf("degenerate Sample = %v", got)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	_, n, ids := newTestNet(t, 2)
+	cfg := LinkConfig{Delay: Constant{D: 0.01}}
+	tests := []struct {
+		name    string
+		a, b    NodeID
+		cfg     LinkConfig
+		wantErr bool
+	}{
+		{name: "ok", a: ids[0], b: ids[1], cfg: cfg},
+		{name: "self link", a: ids[0], b: ids[0], cfg: cfg, wantErr: true},
+		{name: "unknown node", a: ids[0], b: 99, cfg: cfg, wantErr: true},
+		{name: "negative id", a: -1, b: ids[1], cfg: cfg, wantErr: true},
+		{name: "nil delay", a: ids[0], b: ids[1], cfg: LinkConfig{}, wantErr: true},
+		{name: "bad loss", a: ids[0], b: ids[1], cfg: LinkConfig{Delay: Constant{}, Loss: 1}, wantErr: true},
+		{name: "negative loss", a: ids[0], b: ids[1], cfg: LinkConfig{Delay: Constant{}, Loss: -0.1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := n.Connect(tt.a, tt.b, tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Connect error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSendDeliversAfterDelay(t *testing.T) {
+	s, n, ids := newTestNet(t, 2)
+	if err := n.Connect(ids[0], ids[1], LinkConfig{Delay: Constant{D: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt float64 = -1
+	var got Message
+	n.SetHandler(ids[1], func(m Message) {
+		deliveredAt = s.Now()
+		got = m
+	})
+	s.At(10, func() {
+		if !n.Send(ids[0], ids[1], "ping") {
+			t.Error("Send returned false")
+		}
+	})
+	s.Run()
+	if deliveredAt != 10.5 {
+		t.Errorf("delivered at %v, want 10.5", deliveredAt)
+	}
+	if got.From != ids[0] || got.To != ids[1] || got.Payload != "ping" || got.SentAt != 10 {
+		t.Errorf("message = %+v", got)
+	}
+	if n.Stats.Sent != 1 || n.Stats.Delivered != 1 {
+		t.Errorf("stats = %+v", n.Stats)
+	}
+}
+
+func TestSendNoLink(t *testing.T) {
+	_, n, ids := newTestNet(t, 3)
+	if n.Send(ids[0], ids[2], "x") {
+		t.Error("Send over missing link returned true")
+	}
+	if n.Stats.NoLink != 1 {
+		t.Errorf("NoLink = %d", n.Stats.NoLink)
+	}
+	if n.Send(-1, ids[0], "x") || n.Send(ids[0], 99, "x") {
+		t.Error("Send with invalid ids returned true")
+	}
+}
+
+func TestSendLoss(t *testing.T) {
+	s, n, ids := newTestNet(t, 2)
+	if err := n.Connect(ids[0], ids[1], LinkConfig{Delay: Constant{D: 0.01}, Loss: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	n.SetHandler(ids[1], func(Message) { delivered++ })
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if !n.Send(ids[0], ids[1], i) {
+			t.Fatal("lossy Send returned false")
+		}
+	}
+	s.Run()
+	if n.Stats.Lost+delivered != total {
+		t.Errorf("lost %d + delivered %d != %d", n.Stats.Lost, delivered, total)
+	}
+	frac := float64(delivered) / total
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("delivered fraction %v, want about 0.5", frac)
+	}
+}
+
+func TestDisconnect(t *testing.T) {
+	_, n, ids := newTestNet(t, 2)
+	cfg := LinkConfig{Delay: Constant{D: 0.01}}
+	if err := n.Connect(ids[0], ids[1], cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Connected(ids[0], ids[1]) {
+		t.Fatal("not connected after Connect")
+	}
+	n.Disconnect(ids[1], ids[0]) // order-insensitive
+	if n.Connected(ids[0], ids[1]) {
+		t.Error("still connected after Disconnect")
+	}
+	if n.Send(ids[0], ids[1], "x") {
+		t.Error("Send over removed link returned true")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	_, n, ids := newTestNet(t, 4)
+	cfg := LinkConfig{Delay: Constant{D: 0.01}}
+	if err := n.Connect(ids[2], ids[0], cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect(ids[0], ids[3], cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Neighbors(ids[0])
+	if len(got) != 2 || got[0] != ids[2] || got[1] != ids[3] {
+		t.Errorf("Neighbors = %v, want [2 3]", got)
+	}
+	if got := n.Neighbors(ids[1]); got != nil {
+		t.Errorf("isolated node Neighbors = %v", got)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	s, n, ids := newTestNet(t, 4)
+	cfg := LinkConfig{Delay: Constant{D: 0.01}}
+	if err := Star(n, ids[0], ids[1:], cfg); err != nil {
+		t.Fatal(err)
+	}
+	received := make(map[NodeID]int)
+	for _, id := range ids[1:] {
+		id := id
+		n.SetHandler(id, func(Message) { received[id]++ })
+	}
+	if sent := n.Broadcast(ids[0], "hello"); sent != 3 {
+		t.Errorf("Broadcast sent %d, want 3", sent)
+	}
+	s.Run()
+	for _, id := range ids[1:] {
+		if received[id] != 1 {
+			t.Errorf("node %d received %d, want 1", id, received[id])
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	s, n, ids := newTestNet(t, 4)
+	cfg := LinkConfig{Delay: Constant{D: 0.01}}
+	if err := FullMesh(n, ids, cfg); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for _, id := range ids {
+		n.SetHandler(id, func(Message) { delivered++ })
+	}
+	n.Partition([]NodeID{ids[0], ids[1]}, []NodeID{ids[2], ids[3]})
+	if n.Send(ids[0], ids[2], "x") {
+		t.Error("Send across partition returned true")
+	}
+	if !n.Send(ids[0], ids[1], "x") {
+		t.Error("Send within partition returned false")
+	}
+	if n.Stats.Partitioned != 1 {
+		t.Errorf("Partitioned = %d", n.Stats.Partitioned)
+	}
+	if n.Connected(ids[0], ids[2]) {
+		t.Error("Connected across partition")
+	}
+	n.Heal()
+	if !n.Send(ids[0], ids[2], "x") {
+		t.Error("Send after Heal returned false")
+	}
+	s.Run()
+	if delivered != 2 {
+		t.Errorf("delivered %d, want 2", delivered)
+	}
+}
+
+func TestPartitionUnlistedNodesShareGroup(t *testing.T) {
+	_, n, ids := newTestNet(t, 4)
+	cfg := LinkConfig{Delay: Constant{D: 0.01}}
+	if err := FullMesh(n, ids, cfg); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition([]NodeID{ids[0]})
+	if !n.Connected(ids[1], ids[2]) {
+		t.Error("unlisted nodes should share the implicit group")
+	}
+	if n.Connected(ids[0], ids[1]) {
+		t.Error("listed and unlisted nodes should be separated")
+	}
+}
+
+func TestMaxOneWayDelayAndXi(t *testing.T) {
+	_, n, ids := newTestNet(t, 3)
+	if err := n.Connect(ids[0], ids[1], LinkConfig{Delay: Uniform{Max: 0.05}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect(ids[1], ids[2], LinkConfig{Delay: Constant{D: 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.MaxOneWayDelay(); got != 0.2 {
+		t.Errorf("MaxOneWayDelay = %v", got)
+	}
+	if got := n.Xi(); got != 0.4 {
+		t.Errorf("Xi = %v", got)
+	}
+}
+
+func TestFullMesh(t *testing.T) {
+	_, n, ids := newTestNet(t, 5)
+	if err := FullMesh(n, ids, LinkConfig{Delay: Constant{D: 0.01}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if got := len(n.Neighbors(id)); got != 4 {
+			t.Errorf("node %d has %d neighbors, want 4", id, got)
+		}
+	}
+}
+
+func TestRingLineStar(t *testing.T) {
+	cfg := LinkConfig{Delay: Constant{D: 0.01}}
+
+	_, n, ids := newTestNet(t, 5)
+	if err := Ring(n, ids, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if got := len(n.Neighbors(id)); got != 2 {
+			t.Errorf("ring node %d has %d neighbors, want 2", id, got)
+		}
+	}
+
+	_, n2, ids2 := newTestNet(t, 5)
+	if err := Line(n2, ids2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n2.Neighbors(ids2[0])); got != 1 {
+		t.Errorf("line endpoint has %d neighbors, want 1", got)
+	}
+	if got := len(n2.Neighbors(ids2[2])); got != 2 {
+		t.Errorf("line middle has %d neighbors, want 2", got)
+	}
+
+	_, n3, ids3 := newTestNet(t, 5)
+	if err := Star(n3, ids3[0], ids3[1:], cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n3.Neighbors(ids3[0])); got != 4 {
+		t.Errorf("hub has %d neighbors, want 4", got)
+	}
+
+	if err := Ring(n3, ids3[:1], cfg); err == nil {
+		t.Error("Ring with one node should error")
+	}
+	if err := Line(n3, ids3[:1], cfg); err == nil {
+		t.Error("Line with one node should error")
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	_, n, ids := newTestNet(t, 10)
+	rng := rand.New(rand.NewPCG(7, 8))
+	if err := RandomConnected(n, ids, 0.2, LinkConfig{Delay: Constant{D: 0.01}}, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Connectivity via BFS.
+	seen := map[NodeID]bool{ids[0]: true}
+	frontier := []NodeID{ids[0]}
+	for len(frontier) > 0 {
+		next := frontier[0]
+		frontier = frontier[1:]
+		for _, nb := range n.Neighbors(next) {
+			if !seen[nb] {
+				seen[nb] = true
+				frontier = append(frontier, nb)
+			}
+		}
+	}
+	if len(seen) != len(ids) {
+		t.Errorf("graph not connected: reached %d of %d", len(seen), len(ids))
+	}
+}
+
+func TestInternet(t *testing.T) {
+	s := sim.New(1)
+	n := New(s)
+	nets, err := Internet(n, InternetConfig{
+		NetworkSizes: []int{3, 4, 2},
+		Local:        LinkConfig{Delay: Uniform{Max: 0.005}},
+		Backbone:     LinkConfig{Delay: Uniform{Min: 0.02, Max: 0.2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 3 {
+		t.Fatalf("got %d networks", len(nets))
+	}
+	if n.Len() != 9 {
+		t.Errorf("total nodes = %d, want 9", n.Len())
+	}
+	// Within-network connectivity.
+	if !n.Connected(nets[0][0], nets[0][1]) {
+		t.Error("local nodes not connected")
+	}
+	// Gateways connected in a ring.
+	if !n.Connected(nets[0][0], nets[1][0]) {
+		t.Error("gateways not connected")
+	}
+	// Non-gateway cross-network nodes are not directly connected.
+	if n.Connected(nets[0][1], nets[1][1]) {
+		t.Error("non-gateway nodes should not be directly connected")
+	}
+	// xi reflects the slowest link.
+	if xi := n.Xi(); math.Abs(xi-0.4) > 1e-12 {
+		t.Errorf("Xi = %v, want 0.4", xi)
+	}
+}
+
+func TestInternetErrors(t *testing.T) {
+	s := sim.New(1)
+	n := New(s)
+	if _, err := Internet(n, InternetConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+	if _, err := Internet(n, InternetConfig{
+		NetworkSizes: []int{0},
+		Local:        LinkConfig{Delay: Constant{}},
+	}); err == nil {
+		t.Error("zero-size network should error")
+	}
+}
+
+func TestInternetTwoNetworks(t *testing.T) {
+	s := sim.New(1)
+	n := New(s)
+	nets, err := Internet(n, InternetConfig{
+		NetworkSizes: []int{2, 2},
+		Local:        LinkConfig{Delay: Constant{D: 0.001}},
+		Backbone:     LinkConfig{Delay: Constant{D: 0.05}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Connected(nets[0][0], nets[1][0]) {
+		t.Error("two-network gateways not connected")
+	}
+}
+
+func TestRoundTripBoundedByXi(t *testing.T) {
+	// Request/reply over a link must complete within xi, the paper's bound.
+	s, n, ids := newTestNet(t, 2)
+	cfg := LinkConfig{Delay: Uniform{Max: 0.1}}
+	if err := n.Connect(ids[0], ids[1], cfg); err != nil {
+		t.Fatal(err)
+	}
+	var rtts []float64
+	var sentAt float64
+	n.SetHandler(ids[1], func(m Message) {
+		n.Send(ids[1], ids[0], "reply")
+	})
+	n.SetHandler(ids[0], func(m Message) {
+		rtts = append(rtts, s.Now()-sentAt)
+	})
+	for i := 0; i < 200; i++ {
+		at := float64(i)
+		s.At(at, func() {
+			sentAt = s.Now()
+			n.Send(ids[0], ids[1], "req")
+		})
+		s.RunUntil(at + 0.999)
+	}
+	xi := n.Xi()
+	if len(rtts) != 200 {
+		t.Fatalf("got %d round trips", len(rtts))
+	}
+	for i, rtt := range rtts {
+		if rtt > xi {
+			t.Fatalf("round trip %d took %v > xi %v", i, rtt, xi)
+		}
+	}
+}
+
+func TestAsymmetricLink(t *testing.T) {
+	s, n, ids := newTestNet(t, 2)
+	// Forward (low->high) 0.1 s, reverse (high->low) 0.4 s.
+	err := n.Connect(ids[0], ids[1], LinkConfig{
+		Delay:        Constant{D: 0.1},
+		ReverseDelay: Constant{D: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fwdAt, revAt float64
+	n.SetHandler(ids[1], func(Message) { fwdAt = s.Now() })
+	n.SetHandler(ids[0], func(Message) { revAt = s.Now() })
+	n.Send(ids[0], ids[1], "fwd")
+	n.Send(ids[1], ids[0], "rev")
+	s.Run()
+	if fwdAt != 0.1 {
+		t.Errorf("forward delivery at %v, want 0.1", fwdAt)
+	}
+	if revAt != 0.4 {
+		t.Errorf("reverse delivery at %v, want 0.4", revAt)
+	}
+	// Xi reflects the slower direction.
+	if got := n.Xi(); got != 0.8 {
+		t.Errorf("Xi = %v, want 0.8", got)
+	}
+}
+
+func TestAsymmetricRoundTripWithinXi(t *testing.T) {
+	s, n, ids := newTestNet(t, 2)
+	err := n.Connect(ids[0], ids[1], LinkConfig{
+		Delay:        Uniform{Max: 0.02},
+		ReverseDelay: Uniform{Min: 0.05, Max: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetHandler(ids[1], func(Message) { n.Send(ids[1], ids[0], "reply") })
+	var rtts []float64
+	var sentAt float64
+	n.SetHandler(ids[0], func(Message) { rtts = append(rtts, s.Now()-sentAt) })
+	for i := 0; i < 100; i++ {
+		at := float64(i)
+		s.At(at, func() {
+			sentAt = s.Now()
+			n.Send(ids[0], ids[1], "req")
+		})
+		s.RunUntil(at + 0.99)
+	}
+	xi := n.Xi()
+	for _, rtt := range rtts {
+		if rtt > xi {
+			t.Fatalf("round trip %v exceeds xi %v", rtt, xi)
+		}
+	}
+	if len(rtts) != 100 {
+		t.Fatalf("got %d round trips", len(rtts))
+	}
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"fmt"
+
+	"disttime/internal/core"
+	"disttime/internal/service"
+)
+
+// Attach wires a log to a simulated service: every synchronization pass
+// is recorded, with reset, inconsistency, and recovery events derived
+// from the pass result and the per-node counters. It replaces any
+// observer previously installed with OnSync.
+func Attach(svc *service.Service, log *Log) {
+	prevRecoveries := make([]int, len(svc.Nodes))
+	svc.OnSync(func(node int, t float64, res core.Result) {
+		log.Append(Event{T: t, Node: node, Kind: KindSync,
+			Detail: fmt.Sprintf("accepted=%d reset=%v", res.Accepted, res.Reset)})
+		if res.Reset {
+			n := svc.Nodes[node]
+			log.Append(Event{T: t, Node: node, Kind: KindReset,
+				Detail: fmt.Sprintf("C=%.6f E=%.6f", n.Server.Read(t), n.Server.ErrorAt(t))})
+		}
+		if len(res.Inconsistent) > 0 {
+			// The indices refer to the pass's reply slice, which the hook
+			// does not see; the count is what analyses use.
+			log.Append(Event{T: t, Node: node, Kind: KindInconsistent,
+				Detail: fmt.Sprintf("replies=%d", len(res.Inconsistent))})
+		}
+		if got := svc.Nodes[node].Recoveries; got > prevRecoveries[node] {
+			log.Append(Event{T: t, Node: node, Kind: KindRecovery,
+				Detail: fmt.Sprintf("total=%d", got)})
+			prevRecoveries[node] = got
+		}
+	})
+}

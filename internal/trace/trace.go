@@ -1,0 +1,164 @@
+// Package trace records structured events from a running simulated time
+// service: synchronization passes, resets, detected inconsistencies, and
+// recoveries, each stamped with virtual time. A trace makes a run's
+// dynamics inspectable after the fact — which server reset from whom,
+// when the first inconsistency appeared, how recovery cadence relates to
+// the sync period — without sprinkling print statements through the
+// protocol code.
+//
+// The simulator is single-threaded, so the log needs no locking; it is
+// bounded to keep week-long simulated runs from hoarding memory.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	// KindSync is a completed synchronization pass (with or without a
+	// reset).
+	KindSync Kind = iota + 1
+	// KindReset is a clock reset performed by a synchronization pass.
+	KindReset
+	// KindInconsistent is a pass that found at least one inconsistent
+	// reply.
+	KindInconsistent
+	// KindRecovery is a Section 3 recovery adoption.
+	KindRecovery
+	// KindNote is a free-form annotation added by the experiment.
+	KindNote
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSync:
+		return "sync"
+	case KindReset:
+		return "reset"
+	case KindInconsistent:
+		return "inconsistent"
+	case KindRecovery:
+		return "recovery"
+	case KindNote:
+		return "note"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	// T is the virtual time of the event.
+	T float64
+	// Node is the server index the event belongs to (-1 for service-wide
+	// notes).
+	Node int
+	// Kind classifies the event.
+	Kind Kind
+	// Detail is a short human-readable elaboration.
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("t=%.3f node=%d %s", e.T, e.Node, e.Kind)
+	}
+	return fmt.Sprintf("t=%.3f node=%d %s: %s", e.T, e.Node, e.Kind, e.Detail)
+}
+
+// Log is a bounded, append-only event log. The zero value is unusable;
+// construct with New.
+type Log struct {
+	events  []Event
+	limit   int
+	dropped int
+	counts  map[Kind]int
+}
+
+// New returns a log keeping at most limit events (older events are
+// dropped first). Non-positive limits default to 65536.
+func New(limit int) *Log {
+	if limit <= 0 {
+		limit = 65536
+	}
+	return &Log{limit: limit, counts: make(map[Kind]int)}
+}
+
+// Append records an event.
+func (l *Log) Append(e Event) {
+	l.counts[e.Kind]++
+	if len(l.events) == l.limit {
+		// Drop the oldest half in one move to amortize.
+		half := l.limit / 2
+		copy(l.events, l.events[half:])
+		l.events = l.events[:l.limit-half]
+		l.dropped += half
+	}
+	l.events = append(l.events, e)
+}
+
+// Note appends a service-wide annotation.
+func (l *Log) Note(t float64, format string, args ...any) {
+	l.Append(Event{T: t, Node: -1, Kind: KindNote, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Dropped returns how many events were discarded to respect the limit.
+func (l *Log) Dropped() int { return l.dropped }
+
+// Count returns how many events of the kind were ever appended,
+// including dropped ones.
+func (l *Log) Count(k Kind) int { return l.counts[k] }
+
+// Events returns a copy of the retained events in append order.
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Filter returns the retained events of one kind, in order.
+func (l *Log) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Between returns the retained events with lo <= T <= hi, in order.
+func (l *Log) Between(lo, hi float64) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.T >= lo && e.T <= hi {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTo writes the retained events as text lines.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	if l.dropped > 0 {
+		fmt.Fprintf(&b, "... %d earlier events dropped ...\n", l.dropped)
+	}
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"disttime/internal/core"
+	"disttime/internal/service"
+	"disttime/internal/simnet"
+)
+
+func TestAppendAndAccessors(t *testing.T) {
+	l := New(10)
+	l.Append(Event{T: 1, Node: 0, Kind: KindSync})
+	l.Append(Event{T: 2, Node: 1, Kind: KindReset, Detail: "C=5"})
+	l.Note(3, "phase %d begins", 2)
+
+	if l.Len() != 3 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if l.Count(KindSync) != 1 || l.Count(KindReset) != 1 || l.Count(KindNote) != 1 {
+		t.Error("counts wrong")
+	}
+	if got := l.Filter(KindReset); len(got) != 1 || got[0].Detail != "C=5" {
+		t.Errorf("Filter = %v", got)
+	}
+	if got := l.Between(1.5, 2.5); len(got) != 1 || got[0].Kind != KindReset {
+		t.Errorf("Between = %v", got)
+	}
+	events := l.Events()
+	events[0].T = 99 // copy, not alias
+	if l.Events()[0].T != 1 {
+		t.Error("Events returned an alias")
+	}
+}
+
+func TestBoundedDropsOldest(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{T: float64(i), Kind: KindSync})
+	}
+	if l.Len() > 4 {
+		t.Errorf("Len = %d exceeds limit", l.Len())
+	}
+	if l.Dropped() == 0 {
+		t.Error("nothing dropped")
+	}
+	if l.Count(KindSync) != 10 {
+		t.Errorf("Count = %d, want all appended", l.Count(KindSync))
+	}
+	// The newest event survives.
+	events := l.Events()
+	if events[len(events)-1].T != 9 {
+		t.Errorf("newest event lost: %v", events)
+	}
+}
+
+func TestDefaultLimit(t *testing.T) {
+	l := New(0)
+	if l.limit != 65536 {
+		t.Errorf("default limit = %d", l.limit)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindSync, "sync"},
+		{KindReset, "reset"},
+		{KindInconsistent, "inconsistent"},
+		{KindRecovery, "recovery"},
+		{KindNote, "note"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{T: 1.5, Node: 2, Kind: KindReset, Detail: "C=7"}
+	if got := e.String(); !strings.Contains(got, "reset") || !strings.Contains(got, "C=7") {
+		t.Errorf("String() = %q", got)
+	}
+	bare := Event{T: 1, Node: 0, Kind: KindSync}
+	if got := bare.String(); strings.Contains(got, ":") {
+		t.Errorf("bare String() = %q", got)
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	l := New(2)
+	for i := 0; i < 5; i++ {
+		l.Append(Event{T: float64(i), Kind: KindSync})
+	}
+	var b strings.Builder
+	if _, err := l.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "dropped") {
+		t.Errorf("drop notice missing:\n%s", out)
+	}
+	if !strings.Contains(out, "t=4.000") {
+		t.Errorf("newest event missing:\n%s", out)
+	}
+}
+
+func TestAttachRecordsServiceEvents(t *testing.T) {
+	const day = 86400.0
+	specs := []service.ServerSpec{
+		{Delta: 2.0 / day, Drift: 1.0 / day, InitialError: 0.5, SyncEvery: 60, Recovery: true},
+		{Delta: 1.0 / day, Drift: 0.04, InitialError: 0.5, SyncEvery: 60, Recovery: true},
+		{Delta: 2.0 / day, Drift: -1.0 / day, InitialError: 0.5, SyncEvery: 60},
+	}
+	svc, err := service.New(service.Config{
+		Seed:    5,
+		Delay:   simnet.Uniform{Max: 0.02},
+		Fn:      core.MM{},
+		Servers: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := New(100000)
+	Attach(svc, log)
+	svc.Run(3600)
+
+	if log.Count(KindSync) == 0 {
+		t.Fatal("no sync events recorded")
+	}
+	if log.Count(KindReset) == 0 {
+		t.Error("no resets recorded")
+	}
+	if log.Count(KindInconsistent) == 0 {
+		t.Error("no inconsistencies recorded (the faulty server must trip them)")
+	}
+	if log.Count(KindRecovery) == 0 {
+		t.Error("no recoveries recorded")
+	}
+	// Recovery events match the node counters.
+	recovered := 0
+	for _, e := range log.Filter(KindRecovery) {
+		if e.Node < 0 || e.Node >= len(svc.Nodes) {
+			t.Fatalf("bad node in event %v", e)
+		}
+		recovered++
+	}
+	totalRecoveries := 0
+	for _, n := range svc.Nodes {
+		totalRecoveries += n.Recoveries
+	}
+	if recovered != totalRecoveries {
+		t.Errorf("recovery events %d != counters %d", recovered, totalRecoveries)
+	}
+	// Times are non-decreasing.
+	prev := -1.0
+	for _, e := range log.Events() {
+		if e.T < prev {
+			t.Fatalf("events out of order: %v after %v", e.T, prev)
+		}
+		prev = e.T
+	}
+}

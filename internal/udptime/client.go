@@ -1,0 +1,325 @@
+package udptime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"disttime/internal/interval"
+	"disttime/internal/ntp"
+	"disttime/internal/wire"
+)
+
+// Measurement is one completed request/response exchange, interpreted
+// against the local clock.
+type Measurement struct {
+	// Addr is the queried server address.
+	Addr string
+	// ServerID is the responder's identity.
+	ServerID uint64
+	// C and E are the server's reading.
+	C time.Time
+	E time.Duration
+	// RTT is the round trip measured on the local clock (the paper's
+	// xi^i_j).
+	RTT time.Duration
+	// LocalRecv is the local clock's value when the response arrived.
+	LocalRecv time.Time
+	// Unsynchronized marks a reading from a server that cannot bound its
+	// error.
+	Unsynchronized bool
+}
+
+// OffsetInterval returns the interval, in seconds, known to contain the
+// true offset between the server's timeline and the local clock: rule
+// IM-2's transform [C - E - local, C + E + xi - local]. (The drift term
+// (1+delta) xi is applied by the caller's delta via SyncOptions; over a
+// single RTT it is below nanosecond resolution for realistic delta.)
+func (m Measurement) OffsetInterval() interval.Interval {
+	lo := m.C.Sub(m.LocalRecv) - m.E
+	hi := m.C.Sub(m.LocalRecv) + m.E + m.RTT
+	return interval.Interval{Lo: lo.Seconds(), Hi: hi.Seconds()}
+}
+
+// Client queries time servers.
+type Client struct {
+	// Timeout bounds each query; defaults to one second.
+	Timeout time.Duration
+	// LocalClock supplies local readings for offset computation. Defaults
+	// to the system clock. To discipline a DisciplinedClock, set this to
+	// it so offsets are measured against the clock being steered.
+	LocalClock ClockSource
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient returns a client with the given per-query timeout (zero means
+// one second) measuring against local (nil means the system clock).
+func NewClient(timeout time.Duration, local ClockSource) *Client {
+	return &Client{
+		Timeout:    timeout,
+		LocalClock: local,
+		rng:        rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())),
+	}
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return time.Second
+}
+
+func (c *Client) localNow() time.Time {
+	if c.LocalClock != nil {
+		now, _, _ := c.LocalClock.Now()
+		return now
+	}
+	return time.Now()
+}
+
+func (c *Client) nextReqID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+	}
+	return c.rng.Uint64()
+}
+
+// Query sends one time request to addr and returns the measurement.
+func (c *Client) Query(addr string) (Measurement, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("udptime: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("udptime: dial %q: %w", addr, err)
+	}
+	defer conn.Close()
+
+	reqID := c.nextReqID()
+	out := wire.AppendRequest(make([]byte, 0, wire.RequestSize), wire.Request{ReqID: reqID})
+
+	deadline := time.Now().Add(c.timeout())
+	if err := conn.SetDeadline(deadline); err != nil {
+		return Measurement{}, fmt.Errorf("udptime: deadline: %w", err)
+	}
+
+	sentLocal := c.localNow()
+	sentMono := time.Now()
+	if _, err := conn.Write(out); err != nil {
+		return Measurement{}, fmt.Errorf("udptime: send to %q: %w", addr, err)
+	}
+
+	buf := make([]byte, 512)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("udptime: read from %q: %w", addr, err)
+		}
+		resp, err := wire.ParseResponse(buf[:n])
+		if err != nil || resp.ReqID != reqID {
+			continue // stray or malformed datagram; keep waiting
+		}
+		rtt := time.Since(sentMono)
+		return Measurement{
+			Addr:           addr,
+			ServerID:       resp.ServerID,
+			C:              resp.Clock,
+			E:              resp.MaxError,
+			RTT:            rtt,
+			LocalRecv:      sentLocal.Add(rtt),
+			Unsynchronized: resp.Unsynchronized,
+		}, nil
+	}
+}
+
+// QueryMany queries every address concurrently. It returns the successful
+// measurements and, when any query failed, a joined error describing the
+// failures. Unsynchronized responses are returned but flagged.
+func (c *Client) QueryMany(addrs []string) ([]Measurement, error) {
+	type result struct {
+		m   Measurement
+		err error
+	}
+	results := make([]result, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := c.Query(addr)
+			results[i] = result{m: m, err: err}
+		}()
+	}
+	wg.Wait()
+
+	var ms []Measurement
+	var errs []error
+	for _, r := range results {
+		if r.err != nil {
+			errs = append(errs, r.err)
+			continue
+		}
+		ms = append(ms, r.m)
+	}
+	return ms, errors.Join(errs...)
+}
+
+// Sync errors.
+var (
+	ErrNoMeasurements = errors.New("udptime: no usable measurements")
+	ErrInconsistent   = errors.New("udptime: measurements mutually inconsistent")
+)
+
+// SyncIM disciplines dc with the intersection algorithm (rule IM-2): the
+// offset intervals of all synchronized measurements, intersected with the
+// clock's own current interval when it is synchronized, yield the new
+// offset and inherited error. It returns the applied offset interval.
+func SyncIM(dc *DisciplinedClock, ms []Measurement) (interval.Interval, error) {
+	ivs := usableOffsets(ms)
+	if len(ivs) == 0 {
+		return interval.Interval{}, ErrNoMeasurements
+	}
+	if _, e, synced := dc.Now(); synced {
+		ivs = append(ivs, interval.FromEstimate(0, e.Seconds()))
+	}
+	common, ok := interval.IntersectAll(ivs)
+	if !ok {
+		return interval.Interval{}, ErrInconsistent
+	}
+	if err := applyOffset(dc, common); err != nil {
+		return interval.Interval{}, err
+	}
+	return common, nil
+}
+
+// SyncSelect disciplines dc with falseticker rejection: ntp.Select over
+// the measurements' offset intervals, clustering to at most keep
+// survivors, then the intersection of the survivors. Use it when some
+// servers may hold invalid drift bounds (the Section 5 failure mode).
+func SyncSelect(dc *DisciplinedClock, ms []Measurement, keep int) (ntp.Selection, error) {
+	usable := make([]Measurement, 0, len(ms))
+	for _, m := range ms {
+		if !m.Unsynchronized {
+			usable = append(usable, m)
+		}
+	}
+	if len(usable) == 0 {
+		return ntp.Selection{}, ErrNoMeasurements
+	}
+	readings := make([]ntp.Reading, len(usable))
+	for i, m := range usable {
+		readings[i] = ntp.Reading{
+			ID:       m.Addr,
+			Interval: m.OffsetInterval(),
+			RTT:      m.RTT.Seconds(),
+		}
+	}
+	sel, err := ntp.Select(readings, ntp.Options{})
+	if err != nil {
+		return ntp.Selection{}, err
+	}
+	survivors := ntp.Cluster(readings, sel.Survivors, keep)
+	member := make([]interval.Interval, len(survivors))
+	for i, idx := range survivors {
+		member[i] = readings[idx].Interval
+	}
+	common, ok := interval.IntersectAll(member)
+	if !ok {
+		return ntp.Selection{}, ErrInconsistent
+	}
+	if err := applyOffset(dc, common); err != nil {
+		return ntp.Selection{}, err
+	}
+	sel.Survivors = survivors
+	sel.Interval = common
+	return sel, nil
+}
+
+func usableOffsets(ms []Measurement) []interval.Interval {
+	var ivs []interval.Interval
+	for _, m := range ms {
+		if m.Unsynchronized {
+			continue
+		}
+		ivs = append(ivs, m.OffsetInterval())
+	}
+	return ivs
+}
+
+func applyOffset(dc *DisciplinedClock, common interval.Interval) error {
+	offset := time.Duration(common.Midpoint() * float64(time.Second))
+	maxErr := time.Duration(common.HalfWidth() * float64(time.Second))
+	return dc.Adjust(offset, maxErr)
+}
+
+// QueryBurst queries addr up to k times back-to-back and returns the
+// measurement with the smallest round trip. A delay spike can only widen
+// an offset interval (the requester charges the whole round trip to the
+// leading edge), so the fastest exchange of a burst carries the tightest
+// honest interval — the measurement filter of the [Mills 81] lineage the
+// paper cites for clock measurement. Individual attempts may fail; an
+// error is returned only when every attempt does.
+func (c *Client) QueryBurst(addr string, k int) (Measurement, error) {
+	if k < 1 {
+		k = 1
+	}
+	var (
+		best    Measurement
+		haveOne bool
+		errs    []error
+	)
+	for i := 0; i < k; i++ {
+		m, err := c.Query(addr)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if !haveOne || m.RTT < best.RTT {
+			best = m
+			haveOne = true
+		}
+	}
+	if !haveOne {
+		return Measurement{}, fmt.Errorf("udptime: burst to %q failed: %w", addr, errors.Join(errs...))
+	}
+	return best, nil
+}
+
+// QueryManyBurst queries every address concurrently, each with a burst of
+// k attempts, keeping the minimum-RTT measurement per server.
+func (c *Client) QueryManyBurst(addrs []string, k int) ([]Measurement, error) {
+	type result struct {
+		m   Measurement
+		err error
+	}
+	results := make([]result, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := c.QueryBurst(addr, k)
+			results[i] = result{m: m, err: err}
+		}()
+	}
+	wg.Wait()
+
+	var ms []Measurement
+	var errs []error
+	for _, r := range results {
+		if r.err != nil {
+			errs = append(errs, r.err)
+			continue
+		}
+		ms = append(ms, r.m)
+	}
+	return ms, errors.Join(errs...)
+}

@@ -1,0 +1,97 @@
+package udptime
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// Peer is a complete time-service member over UDP: it answers rule MM-1
+// readings from a disciplined local clock while a background syncer keeps
+// that clock disciplined against its peers — the composition every server
+// of the paper's service runs. Until its first successful round the peer
+// answers with the Unsynchronized flag set, and clients ignore it.
+type Peer struct {
+	clock  *DisciplinedClock
+	server *Server
+	syncer *Syncer
+}
+
+// PeerConfig configures a Peer.
+type PeerConfig struct {
+	// Addr is the UDP address to serve on (e.g. "127.0.0.1:0").
+	Addr string
+	// ID is the peer's server identity.
+	ID uint64
+	// DriftPPM is the claimed drift bound of the local oscillator.
+	// Ignored when Clock is supplied.
+	DriftPPM float64
+	// Clock, when non-nil, is the disciplined clock to serve and steer;
+	// otherwise the peer creates one from DriftPPM.
+	Clock *DisciplinedClock
+	// Peers are the other members to synchronize against. Required.
+	Peers []string
+	// Interval is the sync period (the paper's tau); defaults to 64 s.
+	Interval time.Duration
+	// Timeout bounds each query; defaults to one second.
+	Timeout time.Duration
+	// Selection enables falseticker rejection.
+	Selection bool
+	// Burst is the per-server queries per round (min-RTT kept).
+	Burst int
+	// OnSync observes each synchronization round.
+	OnSync func(SyncReport)
+}
+
+// NewPeer starts a peer: a server answering on Addr and a syncer
+// disciplining its clock against Peers.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("udptime: peer needs at least one peer address")
+	}
+	dc := cfg.Clock
+	if dc == nil {
+		var err error
+		if dc, err = NewDisciplinedClock(cfg.DriftPPM); err != nil {
+			return nil, err
+		}
+	}
+	server, err := NewServer(cfg.Addr, cfg.ID, dc)
+	if err != nil {
+		return nil, err
+	}
+	syncer, err := NewSyncer(dc, SyncerConfig{
+		Servers:   cfg.Peers,
+		Interval:  cfg.Interval,
+		Timeout:   cfg.Timeout,
+		Selection: cfg.Selection,
+		Burst:     cfg.Burst,
+		OnSync:    cfg.OnSync,
+	})
+	if err != nil {
+		server.Close()
+		return nil, err
+	}
+	return &Peer{clock: dc, server: server, syncer: syncer}, nil
+}
+
+// Clock returns the peer's disciplined clock.
+func (p *Peer) Clock() *DisciplinedClock { return p.clock }
+
+// Addr returns the peer's serving address.
+func (p *Peer) Addr() *net.UDPAddr { return p.server.Addr() }
+
+// Requests returns how many requests the peer has answered.
+func (p *Peer) Requests() uint64 { return p.server.Requests() }
+
+// Rounds returns how many synchronization rounds have completed.
+func (p *Peer) Rounds() int { return p.syncer.Rounds() }
+
+// LastReport returns the most recent synchronization round's report.
+func (p *Peer) LastReport() SyncReport { return p.syncer.LastReport() }
+
+// Close stops the syncer and the server, waiting for both.
+func (p *Peer) Close() error {
+	p.syncer.Stop()
+	return p.server.Close()
+}

@@ -1,0 +1,127 @@
+package udptime
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync/atomic"
+
+	"disttime/internal/wire"
+)
+
+// Server is a UDP time server: it answers each wire.Request with the
+// reading of its ClockSource at the moment the request was processed
+// (rule MM-1).
+type Server struct {
+	id     uint64
+	src    ClockSource
+	conn   *net.UDPConn
+	done   chan struct{}
+	logger *log.Logger
+
+	requests atomic.Uint64
+	errsSeen atomic.Uint64
+}
+
+// ServerOption configures a Server.
+type ServerOption interface {
+	applyServer(*Server)
+}
+
+type serverLoggerOption struct{ logger *log.Logger }
+
+func (o serverLoggerOption) applyServer(s *Server) { s.logger = o.logger }
+
+// WithServerLogger routes malformed-datagram diagnostics to logger
+// (default: silent).
+func WithServerLogger(logger *log.Logger) ServerOption {
+	return serverLoggerOption{logger: logger}
+}
+
+// NewServer starts a time server listening on addr (e.g. "127.0.0.1:0")
+// answering with readings from src, identifying itself as id. The server
+// runs until Close.
+func NewServer(addr string, id uint64, src ClockSource, opts ...ServerOption) (*Server, error) {
+	if src == nil {
+		return nil, errors.New("udptime: nil clock source")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udptime: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udptime: listen %q: %w", addr, err)
+	}
+	s := &Server{id: id, src: src, conn: conn, done: make(chan struct{})}
+	for _, o := range opts {
+		o.applyServer(s)
+	}
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() *net.UDPAddr {
+	addr, _ := s.conn.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+// Requests returns how many well-formed requests the server has answered.
+func (s *Server) Requests() uint64 { return s.requests.Load() }
+
+// MalformedDatagrams returns how many datagrams failed to parse.
+func (s *Server) MalformedDatagrams() uint64 { return s.errsSeen.Load() }
+
+// Close stops the server and waits for its loop to exit.
+func (s *Server) Close() error {
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) serve() {
+	defer close(s.done)
+	buf := make([]byte, 512)
+	out := make([]byte, 0, wire.ResponseSize)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.errsSeen.Add(1)
+			continue
+		}
+		req, err := wire.ParseRequest(buf[:n])
+		if err != nil {
+			s.errsSeen.Add(1)
+			if s.logger != nil {
+				s.logger.Printf("udptime: bad request from %v: %v", peer, err)
+			}
+			continue
+		}
+		c, maxErr, synced := s.src.Now()
+		out = out[:0]
+		out, err = wire.AppendResponse(out, wire.Response{
+			ReqID:          req.ReqID,
+			ServerID:       s.id,
+			Clock:          c,
+			MaxError:       maxErr,
+			Unsynchronized: !synced,
+		})
+		if err != nil {
+			s.errsSeen.Add(1)
+			continue
+		}
+		if _, err := s.conn.WriteToUDP(out, peer); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.errsSeen.Add(1)
+			continue
+		}
+		s.requests.Add(1)
+	}
+}

@@ -1,0 +1,172 @@
+package udptime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"disttime/internal/interval"
+)
+
+// Syncer is the client-side daemon: it periodically queries a set of time
+// servers and disciplines a local clock, using either the plain
+// intersection (rule IM-2) or fault-tolerant selection. It owns one
+// background goroutine; Stop signals it and waits for it to exit.
+type Syncer struct {
+	cfg    SyncerConfig
+	dc     *DisciplinedClock
+	client *Client
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu     sync.Mutex
+	last   SyncReport
+	rounds int
+}
+
+// SyncerConfig configures a Syncer.
+type SyncerConfig struct {
+	// Servers are the time-server addresses to poll. Required.
+	Servers []string
+	// Interval is the polling period (the paper's tau). Defaults to 64 s.
+	Interval time.Duration
+	// Timeout bounds each per-server query. Defaults to one second.
+	Timeout time.Duration
+	// Selection enables falseticker rejection (SyncSelect) instead of
+	// the plain intersection (SyncIM).
+	Selection bool
+	// KeepSurvivors caps the cluster size under Selection. Defaults to
+	// 10.
+	KeepSurvivors int
+	// Burst is how many back-to-back queries to send per server each
+	// round, keeping the minimum-RTT measurement (the [Mills 81]-lineage
+	// delay filter). Defaults to 1 (no burst).
+	Burst int
+	// OnSync, when non-nil, observes every completed round. It is called
+	// from the syncer's goroutine; it must not block for long.
+	OnSync func(SyncReport)
+}
+
+// SyncReport describes one synchronization round.
+type SyncReport struct {
+	// When is the wall time the round completed.
+	When time.Time
+	// Measurements is how many servers answered.
+	Measurements int
+	// Applied is the offset interval applied to the clock, valid only
+	// when Err is nil.
+	Applied interval.Interval
+	// Survivors and Falsetickers describe the selection outcome (under
+	// Selection; otherwise Survivors == Measurements).
+	Survivors    int
+	Falsetickers int
+	// Err is the round's failure, if any. The clock is untouched on
+	// failure and keeps deteriorating per its drift bound.
+	Err error
+}
+
+// NewSyncer starts a syncer disciplining dc. The first round runs
+// immediately; subsequent rounds run every Interval until Stop.
+func NewSyncer(dc *DisciplinedClock, cfg SyncerConfig) (*Syncer, error) {
+	if dc == nil {
+		return nil, errors.New("udptime: nil disciplined clock")
+	}
+	if len(cfg.Servers) == 0 {
+		return nil, errors.New("udptime: syncer needs at least one server")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 64 * time.Second
+	}
+	if cfg.KeepSurvivors <= 0 {
+		cfg.KeepSurvivors = 10
+	}
+	s := &Syncer{
+		cfg:    cfg,
+		dc:     dc,
+		client: NewClient(cfg.Timeout, dc),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go s.run()
+	return s, nil
+}
+
+// Stop halts the syncer and waits for its goroutine to exit. It is safe
+// to call once.
+func (s *Syncer) Stop() {
+	close(s.stop)
+	<-s.done
+}
+
+// LastReport returns the most recent round's report (zero value before
+// the first round completes).
+func (s *Syncer) LastReport() SyncReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Rounds returns how many rounds have completed (including failed ones).
+func (s *Syncer) Rounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+func (s *Syncer) run() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	s.round()
+	for {
+		select {
+		case <-ticker.C:
+			s.round()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Syncer) round() {
+	var (
+		ms   []Measurement
+		qerr error
+	)
+	if s.cfg.Burst > 1 {
+		ms, qerr = s.client.QueryManyBurst(s.cfg.Servers, s.cfg.Burst)
+	} else {
+		ms, qerr = s.client.QueryMany(s.cfg.Servers)
+	}
+	report := SyncReport{When: time.Now(), Measurements: len(ms)}
+	switch {
+	case len(ms) == 0:
+		report.Err = fmt.Errorf("udptime: no servers answered: %w", qerr)
+	case s.cfg.Selection:
+		sel, err := SyncSelect(s.dc, ms, s.cfg.KeepSurvivors)
+		if err != nil {
+			report.Err = err
+			break
+		}
+		report.Applied = sel.Interval
+		report.Survivors = len(sel.Survivors)
+		report.Falsetickers = len(sel.Falsetickers)
+	default:
+		applied, err := SyncIM(s.dc, ms)
+		if err != nil {
+			report.Err = err
+			break
+		}
+		report.Applied = applied
+		report.Survivors = len(ms)
+	}
+	if s.cfg.OnSync != nil {
+		s.cfg.OnSync(report)
+	}
+	s.mu.Lock()
+	s.last = report
+	s.rounds++
+	s.mu.Unlock()
+}

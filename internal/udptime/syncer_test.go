@@ -1,0 +1,215 @@
+package udptime
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSyncerValidation(t *testing.T) {
+	dc, err := NewDisciplinedClock(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSyncer(nil, SyncerConfig{Servers: []string{"x"}}); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewSyncer(dc, SyncerConfig{}); err == nil {
+		t.Error("no servers accepted")
+	}
+}
+
+func TestSyncerDisciplinesClock(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		srv := startServer(t, uint64(i), shiftedClock{
+			offset: 2 * time.Second, err: 10 * time.Millisecond, synced: true,
+		})
+		addrs = append(addrs, srv.Addr().String())
+	}
+	dc, err := NewDisciplinedClock(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := make(chan SyncReport, 16)
+	syncer, err := NewSyncer(dc, SyncerConfig{
+		Servers:  addrs,
+		Interval: 50 * time.Millisecond,
+		Timeout:  time.Second,
+		OnSync:   func(r SyncReport) { reports <- r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer syncer.Stop()
+
+	// Wait for at least two rounds.
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-reports:
+			if r.Err != nil {
+				t.Fatalf("round %d failed: %v", i, r.Err)
+			}
+			if r.Measurements != 3 || r.Survivors != 3 {
+				t.Errorf("round %d: %+v", i, r)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("syncer produced no report")
+		}
+	}
+
+	now, e, synced := dc.Now()
+	if !synced {
+		t.Fatal("clock not synchronized")
+	}
+	offset := now.Sub(time.Now())
+	if math.Abs((offset - 2*time.Second).Seconds()) > 0.2 {
+		t.Errorf("offset = %v, want ~2s", offset)
+	}
+	if e > time.Second {
+		t.Errorf("error bound = %v", e)
+	}
+	if syncer.Rounds() < 2 {
+		t.Errorf("Rounds = %d", syncer.Rounds())
+	}
+	if syncer.LastReport().When.IsZero() {
+		t.Error("LastReport empty")
+	}
+}
+
+func TestSyncerStopHalts(t *testing.T) {
+	srv := startServer(t, 1, shiftedClock{err: time.Millisecond, synced: true})
+	dc, err := NewDisciplinedClock(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncer, err := NewSyncer(dc, SyncerConfig{
+		Servers:  []string{srv.Addr().String()},
+		Interval: 20 * time.Millisecond,
+		Timeout:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let a round or two complete, then stop.
+	deadline := time.Now().Add(2 * time.Second)
+	for syncer.Rounds() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	syncer.Stop()
+	after := syncer.Rounds()
+	time.Sleep(100 * time.Millisecond)
+	if got := syncer.Rounds(); got != after {
+		t.Errorf("rounds continued after Stop: %d -> %d", after, got)
+	}
+}
+
+func TestSyncerSelectionRejectsFalseticker(t *testing.T) {
+	good1 := startServer(t, 1, shiftedClock{err: 10 * time.Millisecond, synced: true})
+	good2 := startServer(t, 2, shiftedClock{err: 10 * time.Millisecond, synced: true})
+	liar := startServer(t, 3, shiftedClock{offset: time.Hour, err: time.Millisecond, synced: true})
+
+	dc, err := NewDisciplinedClock(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := make(chan SyncReport, 16)
+	syncer, err := NewSyncer(dc, SyncerConfig{
+		Servers:   []string{good1.Addr().String(), good2.Addr().String(), liar.Addr().String()},
+		Interval:  time.Minute, // first immediate round is enough
+		Timeout:   time.Second,
+		Selection: true,
+		OnSync:    func(r SyncReport) { reports <- r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer syncer.Stop()
+
+	select {
+	case r := <-reports:
+		if r.Err != nil {
+			t.Fatalf("round failed: %v", r.Err)
+		}
+		if r.Falsetickers != 1 {
+			t.Errorf("falsetickers = %d, want 1", r.Falsetickers)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no report")
+	}
+	now, _, _ := dc.Now()
+	if d := now.Sub(time.Now()); math.Abs(d.Seconds()) > 0.5 {
+		t.Errorf("clock steered by falseticker: %v", d)
+	}
+}
+
+func TestSyncerReportsFailureWithoutTouchingClock(t *testing.T) {
+	// Two irreconcilable servers: plain intersection must fail and leave
+	// the clock unsynchronized.
+	a := startServer(t, 1, shiftedClock{err: time.Millisecond, synced: true})
+	b := startServer(t, 2, shiftedClock{offset: time.Hour, err: time.Millisecond, synced: true})
+	dc, err := NewDisciplinedClock(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := make(chan SyncReport, 16)
+	syncer, err := NewSyncer(dc, SyncerConfig{
+		Servers:  []string{a.Addr().String(), b.Addr().String()},
+		Interval: time.Minute,
+		Timeout:  time.Second,
+		OnSync:   func(r SyncReport) { reports <- r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer syncer.Stop()
+
+	select {
+	case r := <-reports:
+		if r.Err == nil {
+			t.Fatal("inconsistent servers did not fail the round")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no report")
+	}
+	if _, _, synced := dc.Now(); synced {
+		t.Error("clock synchronized from an inconsistent round")
+	}
+	if dc.Sets() != 0 {
+		t.Error("clock touched despite failure")
+	}
+}
+
+func TestSyncerBurst(t *testing.T) {
+	srv := startServer(t, 1, shiftedClock{err: 5 * time.Millisecond, synced: true})
+	dc, err := NewDisciplinedClock(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := make(chan SyncReport, 4)
+	syncer, err := NewSyncer(dc, SyncerConfig{
+		Servers:  []string{srv.Addr().String()},
+		Interval: time.Minute,
+		Timeout:  time.Second,
+		Burst:    4,
+		OnSync:   func(r SyncReport) { reports <- r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer syncer.Stop()
+	select {
+	case r := <-reports:
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Measurements != 1 {
+			t.Errorf("measurements = %d, want 1 (best of burst)", r.Measurements)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no report")
+	}
+	if got := srv.Requests(); got != 4 {
+		t.Errorf("server answered %d requests, want burst of 4", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Package wire defines the binary protocol of the real (UDP) time
+// service: a fixed-size request and a fixed-size response carrying the
+// <C, E> pair of rule MM-1 in nanoseconds. The format is versioned,
+// validated on decode, and deliberately tiny — a time service must not
+// add serialization latency to the delays it is trying to bound.
+//
+// Layout (big endian):
+//
+//	common header (16 bytes):
+//	  magic    uint32  "DTTP"
+//	  version  uint8   1
+//	  type     uint8   1 = request, 2 = response
+//	  flags    uint8   response: bit 0 = server unsynchronized
+//	  reserved uint8   must be zero
+//	  reqID    uint64  echoed by the response
+//
+//	response body (24 bytes):
+//	  serverID uint64
+//	  clock    int64   server clock, Unix nanoseconds
+//	  maxError uint64  maximum error E, nanoseconds
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Protocol constants.
+const (
+	Magic   uint32 = 0x44545450 // "DTTP"
+	Version uint8  = 1
+
+	// RequestSize and ResponseSize are the exact wire sizes.
+	RequestSize  = 16
+	ResponseSize = 40
+)
+
+// Message types.
+const (
+	TypeRequest  uint8 = 1
+	TypeResponse uint8 = 2
+)
+
+// Response flag bits.
+const (
+	// FlagUnsynchronized marks a response from a server that cannot
+	// currently bound its error; clients must ignore its reading.
+	FlagUnsynchronized uint8 = 1 << 0
+)
+
+// Decode errors.
+var (
+	ErrShort      = errors.New("wire: message too short")
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadType    = errors.New("wire: unexpected message type")
+	ErrBadField   = errors.New("wire: invalid field")
+)
+
+// Request is a time request.
+type Request struct {
+	// ReqID correlates the response; clients should use unique values.
+	ReqID uint64
+}
+
+// Response is a server's answer: its reading at receipt of the request.
+type Response struct {
+	// ReqID echoes the request.
+	ReqID uint64
+	// ServerID identifies the responding server.
+	ServerID uint64
+	// Clock is the server's clock at the moment it processed the request.
+	Clock time.Time
+	// MaxError is the server's maximum error E at that moment.
+	MaxError time.Duration
+	// Unsynchronized is set when the server cannot bound its error; the
+	// Clock and MaxError fields are then advisory only.
+	Unsynchronized bool
+}
+
+func putHeader(buf []byte, typ, flags uint8, reqID uint64) {
+	binary.BigEndian.PutUint32(buf[0:4], Magic)
+	buf[4] = Version
+	buf[5] = typ
+	buf[6] = flags
+	buf[7] = 0
+	binary.BigEndian.PutUint64(buf[8:16], reqID)
+}
+
+func parseHeader(buf []byte, wantType uint8) (flags uint8, reqID uint64, err error) {
+	if len(buf) < RequestSize {
+		return 0, 0, fmt.Errorf("%w: %d bytes", ErrShort, len(buf))
+	}
+	if got := binary.BigEndian.Uint32(buf[0:4]); got != Magic {
+		return 0, 0, fmt.Errorf("%w: %#x", ErrBadMagic, got)
+	}
+	if buf[4] != Version {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadVersion, buf[4])
+	}
+	if buf[5] != wantType {
+		return 0, 0, fmt.Errorf("%w: got %d, want %d", ErrBadType, buf[5], wantType)
+	}
+	if buf[7] != 0 {
+		return 0, 0, fmt.Errorf("%w: nonzero reserved byte", ErrBadField)
+	}
+	return buf[6], binary.BigEndian.Uint64(buf[8:16]), nil
+}
+
+// AppendRequest appends the encoded request to dst and returns the
+// extended slice.
+func AppendRequest(dst []byte, r Request) []byte {
+	var buf [RequestSize]byte
+	putHeader(buf[:], TypeRequest, 0, r.ReqID)
+	return append(dst, buf[:]...)
+}
+
+// ParseRequest decodes a request.
+func ParseRequest(buf []byte) (Request, error) {
+	flags, reqID, err := parseHeader(buf, TypeRequest)
+	if err != nil {
+		return Request{}, err
+	}
+	if flags != 0 {
+		return Request{}, fmt.Errorf("%w: request flags %#x", ErrBadField, flags)
+	}
+	return Request{ReqID: reqID}, nil
+}
+
+// AppendResponse appends the encoded response to dst and returns the
+// extended slice. A negative MaxError is rejected.
+func AppendResponse(dst []byte, r Response) ([]byte, error) {
+	if r.MaxError < 0 {
+		return nil, fmt.Errorf("%w: negative max error %v", ErrBadField, r.MaxError)
+	}
+	var buf [ResponseSize]byte
+	var flags uint8
+	if r.Unsynchronized {
+		flags |= FlagUnsynchronized
+	}
+	putHeader(buf[:], TypeResponse, flags, r.ReqID)
+	binary.BigEndian.PutUint64(buf[16:24], r.ServerID)
+	binary.BigEndian.PutUint64(buf[24:32], uint64(r.Clock.UnixNano()))
+	binary.BigEndian.PutUint64(buf[32:40], uint64(r.MaxError))
+	return append(dst, buf[:]...), nil
+}
+
+// ParseResponse decodes a response.
+func ParseResponse(buf []byte) (Response, error) {
+	flags, reqID, err := parseHeader(buf, TypeResponse)
+	if err != nil {
+		return Response{}, err
+	}
+	if len(buf) < ResponseSize {
+		return Response{}, fmt.Errorf("%w: %d bytes", ErrShort, len(buf))
+	}
+	if flags&^FlagUnsynchronized != 0 {
+		return Response{}, fmt.Errorf("%w: unknown flags %#x", ErrBadField, flags)
+	}
+	maxErr := binary.BigEndian.Uint64(buf[32:40])
+	if maxErr > math.MaxInt64 {
+		return Response{}, fmt.Errorf("%w: max error overflows", ErrBadField)
+	}
+	return Response{
+		ReqID:          reqID,
+		ServerID:       binary.BigEndian.Uint64(buf[16:24]),
+		Clock:          time.Unix(0, int64(binary.BigEndian.Uint64(buf[24:32]))),
+		MaxError:       time.Duration(maxErr),
+		Unsynchronized: flags&FlagUnsynchronized != 0,
+	}, nil
+}
