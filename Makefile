@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench experiments ablations examples clean
+.PHONY: all build vet test check test-race cover bench experiments ablations examples clean
 
 all: build vet test
 
@@ -13,8 +13,14 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Tier-1 gate: vet, the full suite, and a race pass over the packages that
+# host the parallel experiment runner and the pooled event kernel.
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/par ./internal/sim ./internal/experiments
+
+check: test
 
 test-race:
 	$(GO) test -race ./internal/udptime/ ./cmd/...
@@ -24,8 +30,17 @@ cover:
 
 # One benchmark per paper figure/claim plus the ablations; doubles as the
 # reproduction gate (a benchmark fails if its paper-shape stops holding).
+# The run is recorded to BENCH_BASELINE.json (name -> ns/op, B/op,
+# allocs/op) so every PR leaves a perf trajectory behind. BENCHTIME=1x
+# keeps the recording fast; the hot-path benchmarks warm their pools
+# before the measured window so allocs/op is steady-state even at 1x.
+BENCHTIME ?= 1x
+BENCH ?= .
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime=$(BENCHTIME) . | tee bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_BASELINE.json
+	@rm -f bench.out
+	@echo "wrote BENCH_BASELINE.json"
 
 # Regenerate the EXPERIMENTS.md data.
 experiments:

@@ -19,6 +19,7 @@ import (
 
 	"disttime"
 	"disttime/internal/experiments"
+	"disttime/internal/sim"
 )
 
 func runExperiment(b *testing.B, fn func() (experiments.Table, error)) {
@@ -85,13 +86,33 @@ func BenchmarkFaultTolerantIntersection(b *testing.B) {
 // --- Micro-benchmarks on the hot paths ---
 
 // BenchmarkMarzulloSweep measures the fault-tolerant intersection sweep on
-// 100 intervals (the per-selection cost in an NTP-like client).
+// 100 intervals (the per-selection cost in an NTP-like client). The warm-up
+// call before the timer primes the sweeper pool, so the measured window is
+// steady-state: 0 allocs/op.
 func BenchmarkMarzulloSweep(b *testing.B) {
 	rng := rand.New(rand.NewPCG(1, 2))
 	ivs := make([]disttime.Interval, 100)
 	for i := range ivs {
 		ivs[i] = disttime.FromEstimate(rng.Float64()*10, 0.5+rng.Float64())
 	}
+	disttime.Marzullo(ivs) // warm the sweeper pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disttime.Marzullo(ivs)
+	}
+}
+
+// BenchmarkMarzulloSweep1000 is the adversarial scale point: 1000
+// overlapping intervals, the regime of the A5 scale ablation grown toward
+// the paper's hundreds-of-servers deployment. Still 0 allocs/op.
+func BenchmarkMarzulloSweep1000(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	ivs := make([]disttime.Interval, 1000)
+	for i := range ivs {
+		ivs[i] = disttime.FromEstimate(rng.Float64()*10, 0.5+rng.Float64())
+	}
+	disttime.Marzullo(ivs) // warm the sweeper pool
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -107,6 +128,26 @@ func BenchmarkConsistencyGroups(b *testing.B) {
 	for i := range ivs {
 		ivs[i] = disttime.FromEstimate(rng.Float64()*100, 0.5+rng.Float64())
 	}
+	disttime.ConsistencyGroups(ivs) // warm the sweeper pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disttime.ConsistencyGroups(ivs)
+	}
+}
+
+// BenchmarkConsistencyGroupsDense is the worst case for the sweep's active
+// set: 256 mutually overlapping intervals (one giant clique), which made
+// the former map-based active set churn hardest. Only the returned group
+// is allocated.
+func BenchmarkConsistencyGroupsDense(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	ivs := make([]disttime.Interval, 256)
+	for i := range ivs {
+		// All intervals contain [0.9, 1.0]: a single dense clique.
+		ivs[i] = disttime.FromEstimate(rng.Float64()*0.4+0.8, 1+rng.Float64())
+	}
+	disttime.ConsistencyGroups(ivs) // warm the sweeper pool
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -146,43 +187,83 @@ func BenchmarkServiceHour(b *testing.B) {
 	}
 }
 
-// BenchmarkRuleMM2 measures a single rule-MM-2 pass over eight replies.
+// BenchmarkRuleMM2 measures a single rule-MM-2 pass over eight replies in
+// steady state: the server is built once and repeatedly resynchronized, so
+// the pass itself is what's measured (0 allocs/op).
 func BenchmarkRuleMM2(b *testing.B) {
 	replies := make([]disttime.Reply, 8)
 	for i := range replies {
 		replies[i] = disttime.Reply{From: i + 1, C: 1000.001, E: 0.5, RTT: 0.01}
 	}
+	s, err := disttime.NewServer(1000, disttime.ServerConfig{
+		Clock:        disttime.NewDriftingClock(1000, 1000, 0),
+		Delta:        1e-5,
+		InitialError: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := disttime.NewServer(1000, disttime.ServerConfig{
-			Clock:        disttime.NewDriftingClock(1000, 1000, 0),
-			Delta:        1e-5,
-			InitialError: 1,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
 		disttime.MM{}.Sync(s, 1000, replies)
 	}
 }
 
-// BenchmarkRuleIM2 measures a single rule-IM-2 pass over eight replies.
+// BenchmarkRuleIM2 measures a single rule-IM-2 pass over eight replies in
+// steady state (0 allocs/op).
 func BenchmarkRuleIM2(b *testing.B) {
 	replies := make([]disttime.Reply, 8)
 	for i := range replies {
 		replies[i] = disttime.Reply{From: i + 1, C: 1000.001, E: 0.5, RTT: 0.01}
 	}
+	s, err := disttime.NewServer(1000, disttime.ServerConfig{
+		Clock:        disttime.NewDriftingClock(1000, 1000, 0),
+		Delta:        1e-5,
+		InitialError: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := disttime.NewServer(1000, disttime.ServerConfig{
-			Clock:        disttime.NewDriftingClock(1000, 1000, 0),
-			Delta:        1e-5,
-			InitialError: 1,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
 		disttime.IM{}.Sync(s, 1000, replies)
+	}
+}
+
+// churnState drives BenchmarkSimEventChurn's self-rescheduling event chain
+// through the closure-free AfterCall path.
+type churnState struct {
+	s *sim.Simulator
+	n int
+}
+
+func churnTick(x any) {
+	c := x.(*churnState)
+	c.n++
+	if c.n < 1000 {
+		c.s.AfterCall(1, churnTick, c)
+	}
+}
+
+// BenchmarkSimEventChurn measures the raw event kernel: a self-rescheduling
+// chain of 1000 events per op, with Sim.Reset reusing one simulator across
+// iterations. Steady state is allocation-free: pooled events, no heap
+// interface boxing, no scheduling closures.
+func BenchmarkSimEventChurn(b *testing.B) {
+	c := &churnState{s: sim.New(1)}
+	churn := func() {
+		c.n = 0
+		c.s.AfterCall(1, churnTick, c)
+		c.s.Run()
+	}
+	churn() // warm the event pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.s.Reset(uint64(i))
+		churn()
 	}
 }
 

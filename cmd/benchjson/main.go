@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// object on stdout mapping benchmark name to its measured ns/op, B/op, and
+// allocs/op. The Makefile's bench target pipes through it to record
+// BENCH_BASELINE.json, the repo's perf trajectory: future PRs regenerate
+// the file and diff it to see what they cost or saved.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_BASELINE.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. Pointer fields distinguish "not
+// reported" (no -benchmem) from zero.
+type Result struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results) // map keys marshal sorted
+}
+
+// parse scans bench output for result lines.
+func parse(in io.Reader) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shape: Name iterations value unit [value unit]...
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := trimCPUSuffix(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = ptr(v)
+			case "allocs/op":
+				res.AllocsPerOp = ptr(v)
+			}
+		}
+		results[name] = res
+	}
+	return results, sc.Err()
+}
+
+func ptr(v float64) *float64 { return &v }
+
+// trimCPUSuffix drops the -N GOMAXPROCS suffix go test appends to
+// benchmark names (absent when GOMAXPROCS is 1).
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

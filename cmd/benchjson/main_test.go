@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: disttime
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMarzulloSweep-4   	  123456	      9876.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServiceHour       	      20	   1878266 ns/op	   34086 B/op	     346 allocs/op
+BenchmarkNoMem-8           	     100	       50 ns/op
+PASS
+ok  	disttime	1.234s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %v", len(results), results)
+	}
+	sweep, ok := results["BenchmarkMarzulloSweep"]
+	if !ok {
+		t.Fatalf("CPU suffix not trimmed: %v", results)
+	}
+	if sweep.NsPerOp != 9876.5 || sweep.Iterations != 123456 {
+		t.Fatalf("sweep = %+v", sweep)
+	}
+	if sweep.AllocsPerOp == nil || *sweep.AllocsPerOp != 0 {
+		t.Fatalf("sweep allocs = %v, want 0", sweep.AllocsPerOp)
+	}
+	hour := results["BenchmarkServiceHour"]
+	if hour.NsPerOp != 1878266 || *hour.BytesPerOp != 34086 || *hour.AllocsPerOp != 346 {
+		t.Fatalf("hour = %+v", hour)
+	}
+	if nm := results["BenchmarkNoMem"]; nm.BytesPerOp != nil || nm.AllocsPerOp != nil {
+		t.Fatalf("no-benchmem line should omit memory fields: %+v", nm)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]Result
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("round-trip lost results: %v", decoded)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("PASS\n"), &out); err == nil {
+		t.Fatal("expected an error for input without benchmarks")
+	}
+}

@@ -8,6 +8,8 @@
 //	timesim -experiment fig3
 //	timesim -experiment E9
 //	timesim -all
+//	timesim -all -parallel 0        # fan out over GOMAXPROCS workers
+//	timesim -ablations -parallel 4  # identical output, 4 workers
 //
 // Each experiment prints the paper's claim, the measured finding, and the
 // regenerated table. The exit status is nonzero when a reproduced shape
@@ -19,8 +21,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"disttime/internal/experiments"
+	"disttime/internal/par"
 )
 
 func main() {
@@ -39,10 +43,16 @@ func run(args []string, out io.Writer) error {
 		ablations = fs.Bool("ablations", false, "run every ablation study in order")
 		asCSV     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		figures   = fs.Bool("figures", false, "render the paper's four figures as interval diagrams")
+		parallel  = fs.Int("parallel", 1, "worker budget for -all/-ablations and per-experiment trials (0 = GOMAXPROCS); output is byte-identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	defer par.SetLimit(par.SetLimit(workers))
 	emit := func(tbl experiments.Table) error {
 		if *asCSV {
 			return tbl.WriteCSV(out)
@@ -65,29 +75,11 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	case *ablations:
-		for _, e := range experiments.Ablations() {
-			tbl, err := e.Run()
-			if err != nil {
-				fmt.Fprintln(out, tbl)
-				return fmt.Errorf("%s (%s): %w", e.ID, e.Source, err)
-			}
-			if err := emit(tbl); err != nil {
-				return err
-			}
-		}
-		return nil
+		return experiments.WriteResults(out,
+			experiments.RunAll(experiments.Ablations(), 0), *asCSV)
 	case *all:
-		for _, e := range experiments.All() {
-			tbl, err := e.Run()
-			if err != nil {
-				fmt.Fprintln(out, tbl)
-				return fmt.Errorf("%s (%s): %w", e.ID, e.Source, err)
-			}
-			if err := emit(tbl); err != nil {
-				return err
-			}
-		}
-		return nil
+		return experiments.WriteResults(out,
+			experiments.RunAll(experiments.All(), 0), *asCSV)
 	case *name != "":
 		e, ok := experiments.FindAny(*name)
 		if !ok {

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"disttime/internal/core"
+	"disttime/internal/par"
 	"disttime/internal/service"
 	"disttime/internal/simnet"
 	"disttime/internal/stats"
@@ -302,8 +303,14 @@ func AblationScale() (Table, error) {
 	var firstSlope, lastSlope float64
 	const trials = 5
 	for _, n := range []int{4, 8, 16, 32} {
-		var slopeSum, finalSum float64
-		for trial := 0; trial < trials; trial++ {
+		// Each trial is a pure function of (n, trial): fan the trials out
+		// over the par worker budget and merge their sums in fixed trial
+		// order, so the table is byte-identical to a sequential run.
+		type trialResult struct {
+			slope, final float64
+			err          error
+		}
+		results := par.Map(trials, func(trial int) trialResult {
 			// Theorem 8's setting: one common claimed bound delta, actual
 			// drifts i.i.d. uniform inside it. Only with many servers do
 			// the extreme drifters approach +/-delta and pin the
@@ -326,11 +333,11 @@ func AblationScale() (Table, error) {
 				Servers: specs,
 			})
 			if err != nil {
-				return Table{}, err
+				return trialResult{err: err}
 			}
 			samples, err := svc.RunSampled(43200, 1800)
 			if err != nil {
-				return Table{}, err
+				return trialResult{err: err}
 			}
 			var ts, es []float64
 			for _, s := range samples {
@@ -339,10 +346,17 @@ func AblationScale() (Table, error) {
 			}
 			slope, _, err := stats.LinearFit(ts, es)
 			if err != nil {
-				return Table{}, err
+				return trialResult{err: err}
 			}
-			slopeSum += slope
-			finalSum += stats.Mean(samples[len(samples)-1].E)
+			return trialResult{slope: slope, final: stats.Mean(samples[len(samples)-1].E)}
+		})
+		var slopeSum, finalSum float64
+		for _, r := range results {
+			if r.err != nil {
+				return Table{}, r.err
+			}
+			slopeSum += r.slope
+			finalSum += r.final
 		}
 		meanSlope := slopeSum / trials
 		if n == 4 {

@@ -15,14 +15,19 @@
 //   - consistency-group decomposition of an inconsistent service (Figure 4).
 //
 // All times are float64 seconds on the real-time axis. The package is pure:
-// no goroutines, no allocation beyond returned slices.
+// no goroutines, no allocation beyond returned slices. The sweep algorithms
+// run through a reusable Sweeper whose scratch buffers make the package-level
+// entry points allocation-free in steady state (a sync.Pool recycles
+// sweepers across calls and goroutines).
 package interval
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
+	"sync"
 )
 
 // ErrInverted is returned when an interval's lower edge exceeds its upper
@@ -132,21 +137,28 @@ func IntersectAll(ivs []Interval) (Interval, bool) {
 // edge is one endpoint of an interval for the sweep algorithms.
 type edge struct {
 	at    float64
-	delta int // +1 for a lower edge, -1 for an upper edge
-	idx   int // index of the source interval
+	delta int32 // +1 for a lower edge, -1 for an upper edge
+	idx   int32 // index of the source interval
 }
 
-// sortEdges orders sweep endpoints by position; at equal positions lower
-// edges come first so that intervals sharing only a single point still count
-// as intersecting (intervals are closed).
-func sortEdges(edges []edge) {
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].at != edges[j].at {
-			return edges[i].at < edges[j].at
-		}
-		return edges[i].delta > edges[j].delta
-	})
+// edgeSlice is a concrete sort.Interface over sweep endpoints: ordered by
+// position; at equal positions lower edges come first so that intervals
+// sharing only a single point still count as intersecting (intervals are
+// closed). A concrete named type (sorted through a pointer) avoids both the
+// sort.Slice closure and the interface-boxing allocation of sort.Sort on a
+// bare slice value.
+type edgeSlice []edge
+
+func (s edgeSlice) Len() int { return len(s) }
+
+func (s edgeSlice) Less(i, j int) bool {
+	if s[i].at != s[j].at {
+		return s[i].at < s[j].at
+	}
+	return s[i].delta > s[j].delta
 }
+
+func (s edgeSlice) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
 
 // Best is the result of Marzullo's fault-tolerant intersection sweep.
 type Best struct {
@@ -157,6 +169,92 @@ type Best struct {
 	Count int
 }
 
+// Sweeper runs the endpoint-sweep algorithms (Marzullo's fault-tolerant
+// intersection, the at-least-m variant, and consistency-group
+// decomposition) using reusable scratch buffers: the edge list and the
+// active-set bitset survive across calls, so a warmed Sweeper performs no
+// allocation beyond what a result itself requires (Marzullo and
+// MarzulloAtLeast allocate nothing; ConsistencyGroups allocates only the
+// returned groups).
+//
+// A Sweeper is not safe for concurrent use; the package-level functions
+// draw sweepers from a pool and remain safe to call from parallel
+// experiment trials.
+type Sweeper struct {
+	edges  edgeSlice
+	active []uint64 // bitset of open interval indices (ConsistencyGroups)
+}
+
+// NewSweeper returns a Sweeper with capacity for n source intervals. The
+// buffers grow on demand, so n is only a hint.
+func NewSweeper(n int) *Sweeper {
+	return &Sweeper{
+		edges:  make(edgeSlice, 0, 2*n),
+		active: make([]uint64, (n+63)/64),
+	}
+}
+
+// load fills the scratch edge list from the valid members of ivs and sorts
+// it. It reports the number of edges loaded.
+func (sw *Sweeper) load(ivs []Interval) int {
+	edges := sw.edges[:0]
+	for i, iv := range ivs {
+		if !iv.Valid() {
+			continue
+		}
+		edges = append(edges,
+			edge{at: iv.Lo, delta: +1, idx: int32(i)},
+			edge{at: iv.Hi, delta: -1, idx: int32(i)})
+	}
+	sw.edges = edges
+	// Sorting through the pointer keeps the interface conversion
+	// allocation-free (*edgeSlice is already heap-addressable).
+	sort.Sort(&sw.edges)
+	return len(edges)
+}
+
+// Marzullo is the Sweeper form of the package-level Marzullo.
+func (sw *Sweeper) Marzullo(ivs []Interval) Best {
+	if sw.load(ivs) == 0 {
+		return Best{}
+	}
+	var best Best
+	depth := 0
+	for i, e := range sw.edges {
+		depth += int(e.delta)
+		if e.delta > 0 && depth > best.Count {
+			best.Count = depth
+			best.Interval = Interval{Lo: e.at, Hi: sw.edges[i+1].at}
+		}
+	}
+	return best
+}
+
+// MarzulloAtLeast is the Sweeper form of the package-level MarzulloAtLeast.
+func (sw *Sweeper) MarzulloAtLeast(ivs []Interval, m int) (Interval, bool) {
+	if m <= 0 {
+		return Interval{}, false
+	}
+	sw.load(ivs)
+	depth := 0
+	start := math.NaN()
+	for i, e := range sw.edges {
+		depth += int(e.delta)
+		if e.delta > 0 && depth == m && math.IsNaN(start) {
+			start = e.at
+		}
+		if e.delta < 0 && depth == m-1 && !math.IsNaN(start) {
+			return Interval{Lo: start, Hi: sw.edges[i].at}, true
+		}
+	}
+	return Interval{}, false
+}
+
+// sweeperPool recycles Sweepers behind the package-level entry points, so
+// Marzullo and MarzulloAtLeast are allocation-free in steady state and safe
+// under concurrent experiment trials.
+var sweeperPool = sync.Pool{New: func() any { return NewSweeper(16) }}
+
 // Marzullo computes the interval contained in the largest number of source
 // intervals — the fault-tolerant intersection of [Marzullo 83] adopted by
 // NTP for clock selection. With k of n intervals correct, any point covered
@@ -165,57 +263,19 @@ type Best struct {
 // It runs in O(n log n). For an empty input it returns a zero Best.
 // Inverted inputs are ignored.
 func Marzullo(ivs []Interval) Best {
-	edges := make([]edge, 0, 2*len(ivs))
-	for i, iv := range ivs {
-		if !iv.Valid() {
-			continue
-		}
-		edges = append(edges, edge{at: iv.Lo, delta: +1, idx: i}, edge{at: iv.Hi, delta: -1, idx: i})
-	}
-	if len(edges) == 0 {
-		return Best{}
-	}
-	sortEdges(edges)
-
-	var best Best
-	depth := 0
-	for i, e := range edges {
-		depth += e.delta
-		if e.delta > 0 && depth > best.Count {
-			best.Count = depth
-			best.Interval = Interval{Lo: e.at, Hi: edges[i+1].at}
-		}
-	}
+	sw := sweeperPool.Get().(*Sweeper)
+	best := sw.Marzullo(ivs)
+	sweeperPool.Put(sw)
 	return best
 }
 
 // MarzulloAtLeast returns the leftmost maximal interval covered by at least
 // m source intervals, and whether one exists. m must be positive.
 func MarzulloAtLeast(ivs []Interval, m int) (Interval, bool) {
-	if m <= 0 {
-		return Interval{}, false
-	}
-	edges := make([]edge, 0, 2*len(ivs))
-	for i, iv := range ivs {
-		if !iv.Valid() {
-			continue
-		}
-		edges = append(edges, edge{at: iv.Lo, delta: +1, idx: i}, edge{at: iv.Hi, delta: -1, idx: i})
-	}
-	sortEdges(edges)
-
-	depth := 0
-	start := math.NaN()
-	for i, e := range edges {
-		depth += e.delta
-		if e.delta > 0 && depth == m && math.IsNaN(start) {
-			start = e.at
-		}
-		if e.delta < 0 && depth == m-1 && !math.IsNaN(start) {
-			return Interval{Lo: start, Hi: edges[i].at}, true
-		}
-	}
-	return Interval{}, false
+	sw := sweeperPool.Get().(*Sweeper)
+	iv, ok := sw.MarzulloAtLeast(ivs, m)
+	sweeperPool.Put(sw)
+	return iv, ok
 }
 
 // Group is one maximal set of mutually consistent intervals, together with
@@ -239,43 +299,63 @@ type Group struct {
 //
 // Inverted inputs are skipped and appear in no group.
 func ConsistencyGroups(ivs []Interval) []Group {
-	edges := make([]edge, 0, 2*len(ivs))
-	for i, iv := range ivs {
-		if !iv.Valid() {
-			continue
-		}
-		edges = append(edges, edge{at: iv.Lo, delta: +1, idx: i}, edge{at: iv.Hi, delta: -1, idx: i})
-	}
-	if len(edges) == 0 {
+	sw := sweeperPool.Get().(*Sweeper)
+	groups := sw.ConsistencyGroups(ivs)
+	sweeperPool.Put(sw)
+	return groups
+}
+
+// ConsistencyGroups is the Sweeper form of the package-level
+// ConsistencyGroups. Only the returned groups are allocated; the sweep's
+// active set lives in a reused bitset, and each clique's common
+// intersection falls out of the sweep itself (its lower edge is the most
+// recent open, its upper edge the close that ended the clique), so no
+// per-group re-intersection is needed.
+func (sw *Sweeper) ConsistencyGroups(ivs []Interval) []Group {
+	if sw.load(ivs) == 0 {
 		return nil
 	}
-	sortEdges(edges)
+	words := (len(ivs) + 63) / 64
+	if cap(sw.active) < words {
+		sw.active = make([]uint64, words)
+	}
+	active := sw.active[:words]
+	for i := range active {
+		active[i] = 0
+	}
 
 	var groups []Group
-	active := make(map[int]bool)
+	activeCount := 0
+	lastOpenAt := 0.0
 	lastWasOpen := false
-	for _, e := range edges {
+	for _, e := range sw.edges {
 		if e.delta > 0 {
-			active[e.idx] = true
+			active[e.idx>>6] |= 1 << (uint(e.idx) & 63)
+			activeCount++
+			lastOpenAt = e.at
 			lastWasOpen = true
 			continue
 		}
 		if lastWasOpen {
 			// A close immediately after an open: the active set is a
-			// maximal clique.
-			members := make([]int, 0, len(active))
-			for idx := range active {
-				members = append(members, idx)
+			// maximal clique. Members come out of the bitset in increasing
+			// index order; the clique's common intersection is [last open,
+			// this close] — the maximum lower edge and minimum upper edge
+			// of the active intervals.
+			members := make([]int, 0, activeCount)
+			for w, word := range active {
+				for word != 0 {
+					members = append(members, w<<6+bits.TrailingZeros64(word))
+					word &= word - 1
+				}
 			}
-			sort.Ints(members)
-			member := make([]Interval, len(members))
-			for i, idx := range members {
-				member[i] = ivs[idx]
-			}
-			common, _ := IntersectAll(member)
-			groups = append(groups, Group{Members: members, Intersection: common})
+			groups = append(groups, Group{
+				Members:      members,
+				Intersection: Interval{Lo: lastOpenAt, Hi: e.at},
+			})
 		}
-		delete(active, e.idx)
+		active[e.idx>>6] &^= 1 << (uint(e.idx) & 63)
+		activeCount--
 		lastWasOpen = false
 	}
 	return groups

@@ -128,6 +128,8 @@ type Node struct {
 	fn             core.SyncFunc
 	reqSeq         uint64
 	collect        *collection
+	colFree        []*collection // recycled round state
+	scratch        []core.Reply  // reused sync-pass reply buffer
 	stopSync       func()
 	neighborDeltas map[int]float64
 
@@ -140,11 +142,20 @@ type Node struct {
 	DeltaRaises    int
 }
 
-// collection is one in-flight request round.
+// collection is one in-flight request round. Collections are recycled on a
+// per-node free list: a round's identity is its id (monotonic per node), so
+// reusing the struct cannot confuse stale replies.
 type collection struct {
+	node      *Node
 	id        uint64
 	sentLocal float64 // local clock when the broadcast left
 	replies   []pendingReply
+}
+
+// finishCollection is the closure-free sim callback completing a round.
+func finishCollection(x any) {
+	col := x.(*collection)
+	col.node.finishRound(col)
 }
 
 type pendingReply struct {
@@ -158,17 +169,41 @@ type Service struct {
 	Net   *simnet.Network
 	Nodes []*Node
 
-	cfg    Config
-	onSync func(node int, t float64, res core.Result)
+	cfg       Config
+	onSync    func(node int, t float64, res core.Result)
+	replyFree []*timeReply // recycled reply payloads
 }
 
 type timeRequest struct {
 	id uint64
 }
 
+// timeReply payloads travel as pooled pointers: each Send carries a unique
+// *timeReply, which the receiving handler recycles after copying its
+// fields, so answering a request does not allocate in steady state.
+// (Requests are broadcast as one shared value, a single boxing per round.)
 type timeReply struct {
 	id      uint64
 	reading core.Reading
+}
+
+// newReply draws a reply payload from the service pool.
+func (svc *Service) newReply(id uint64, reading core.Reading) *timeReply {
+	if k := len(svc.replyFree); k > 0 {
+		p := svc.replyFree[k-1]
+		svc.replyFree[k-1] = nil
+		svc.replyFree = svc.replyFree[:k-1]
+		p.id = id
+		p.reading = reading
+		return p
+	}
+	return &timeReply{id: id, reading: reading}
+}
+
+// putReply recycles a delivered reply payload. Payloads lost in transit are
+// simply dropped to the garbage collector.
+func (svc *Service) putReply(p *timeReply) {
+	svc.replyFree = append(svc.replyFree, p)
 }
 
 // New builds the service at virtual time zero. The configuration is
@@ -297,28 +332,30 @@ func (n *Node) handle(m simnet.Message) {
 	switch p := m.Payload.(type) {
 	case timeRequest:
 		// Rule MM-1: answer with the current reading.
-		n.svc.Net.Send(n.NetID, m.From, timeReply{id: p.id, reading: n.Server.Reading(now)})
-	case timeReply:
-		if n.collect == nil || n.collect.id != p.id {
+		n.svc.Net.Send(n.NetID, m.From, n.svc.newReply(p.id, n.Server.Reading(now)))
+	case *timeReply:
+		id, reading := p.id, p.reading
+		n.svc.putReply(p)
+		if n.collect == nil || n.collect.id != id {
 			return // stale reply from a finished round
 		}
 		local := n.Server.Read(now)
 		n.collect.replies = append(n.collect.replies, pendingReply{
 			reply: core.Reply{
 				From:  int(m.From),
-				C:     p.reading.C,
-				E:     p.reading.E,
+				C:     reading.C,
+				E:     reading.E,
 				RTT:   local - n.collect.sentLocal,
-				Delta: p.reading.Delta,
+				Delta: reading.Delta,
 			},
 			arrivedLoc: local,
 		})
 		n.Rates.Observe(int(m.From), core.RateSample{
 			Local:  local,
-			Remote: p.reading.C,
+			Remote: reading.C,
 			RTT:    local - n.collect.sentLocal,
 		})
-		n.neighborDeltas[int(m.From)] = p.reading.Delta
+		n.neighborDeltas[int(m.From)] = reading.Delta
 	}
 }
 
@@ -327,13 +364,24 @@ func (n *Node) handle(m simnet.Message) {
 func (n *Node) startRound() {
 	now := n.svc.Sim.Now()
 	n.reqSeq++
-	n.collect = &collection{id: n.reqSeq, sentLocal: n.Server.Read(now)}
+	var col *collection
+	if k := len(n.colFree); k > 0 {
+		col = n.colFree[k-1]
+		n.colFree[k-1] = nil
+		n.colFree = n.colFree[:k-1]
+		col.replies = col.replies[:0]
+	} else {
+		col = &collection{node: n}
+	}
+	col.id = n.reqSeq
+	col.sentLocal = n.Server.Read(now)
+	n.collect = col
 	if n.svc.Net.Broadcast(n.NetID, timeRequest{id: n.reqSeq}) == 0 {
 		n.collect = nil
+		n.colFree = append(n.colFree, col)
 		return
 	}
-	col := n.collect
-	n.svc.Sim.After(n.svc.CollectWindow(), func() { n.finishRound(col) })
+	n.svc.Sim.AfterCall(n.svc.CollectWindow(), finishCollection, col)
 }
 
 // finishRound hands the collected replies to the synchronization function
@@ -346,12 +394,14 @@ func (n *Node) finishRound(col *collection) {
 	}
 	now := n.svc.Sim.Now()
 	nowLocal := n.Server.Read(now)
-	replies := make([]core.Reply, 0, len(col.replies))
+	replies := n.scratch[:0]
 	for _, p := range col.replies {
 		r := p.reply
 		r.Age = nowLocal - p.arrivedLoc
 		replies = append(replies, r)
 	}
+	n.scratch = replies // keep grown capacity for the next round
+	n.colFree = append(n.colFree, col)
 	if n.Spec.RateFilter {
 		replies = n.rateFilter(replies)
 	}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestEventPoolReuse checks that fired events are recycled: a long
+// schedule/fire cycle must not grow the pool beyond the high-water mark of
+// concurrently pending events.
+func TestEventPoolReuse(t *testing.T) {
+	s := New(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < 10000 {
+			s.After(1, tick)
+		}
+	}
+	s.After(1, tick)
+	s.Run()
+	if fired != 10000 {
+		t.Fatalf("fired %d events, want 10000", fired)
+	}
+	if len(s.free) > 2 {
+		t.Fatalf("pool holds %d events after a 1-pending-event run, want <= 2", len(s.free))
+	}
+}
+
+// TestEventPoolAllocs measures steady-state allocations of a
+// schedule/fire cycle: zero once the pool is warm.
+func TestEventPoolAllocs(t *testing.T) {
+	s := New(1)
+	var cb func(any)
+	cb = func(any) {} // callback that schedules nothing
+	// Warm the pool.
+	s.AfterCall(1, cb, nil)
+	s.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		s.AfterCall(1, cb, nil)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/fire cycle allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestAtCall checks the closure-free scheduling form: ordering with At
+// events and arg delivery.
+func TestAtCall(t *testing.T) {
+	s := New(1)
+	var got []int
+	record := func(x any) { got = append(got, x.(int)) }
+	s.AtCall(2, record, 2)
+	s.At(1, func() { got = append(got, 1) })
+	s.AfterCall(3, record, 3)
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("AtCall ordering: got %v, want [1 2 3]", got)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", s.Now())
+	}
+}
+
+// TestAtCallCancel checks that call-form events honor Cancel.
+func TestAtCallCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	e := s.AtCall(5, func(any) { ran = true }, nil)
+	e.Cancel()
+	s.Run()
+	if ran {
+		t.Fatal("cancelled AtCall event ran")
+	}
+}
+
+// TestReset checks that Reset restores time zero, empties the queue, and
+// reproduces a seeded run exactly while reusing the simulator.
+func TestReset(t *testing.T) {
+	run := func(s *Simulator) (trace []float64, steps uint64) {
+		for i := 0; i < 50; i++ {
+			s.After(s.Rand().Float64()*10, func() {
+				trace = append(trace, s.Now())
+			})
+		}
+		s.Run()
+		return trace, s.Steps()
+	}
+	s := New(7)
+	first, firstSteps := run(s)
+
+	// Leave junk pending, then reset.
+	s.After(1, func() { t.Error("stale event survived Reset") })
+	s.Reset(7)
+	if s.Now() != 0 || s.Steps() != 0 || s.Pending() != 0 {
+		t.Fatalf("Reset left now=%v steps=%d pending=%d", s.Now(), s.Steps(), s.Pending())
+	}
+	second, secondSteps := run(s)
+	if firstSteps != secondSteps || len(first) != len(second) {
+		t.Fatalf("reset run diverged: %d/%d events, %d/%d steps",
+			len(first), len(second), firstSteps, secondSteps)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reset run diverged at event %d: %v vs %v", i, first[i], second[i])
+		}
+	}
+
+	// A different seed must give a different schedule.
+	s.Reset(8)
+	third, _ := run(s)
+	same := len(third) == len(first)
+	if same {
+		for i := range third {
+			if third[i] != first[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("Reset(8) reproduced the seed-7 run")
+	}
+}
+
+// TestHeapOrderStress cross-checks the specialized heap against a sorted
+// reference on a large adversarial schedule (duplicate times exercise the
+// FIFO tie-break).
+func TestHeapOrderStress(t *testing.T) {
+	s := New(3)
+	type stamp struct {
+		at  float64
+		seq int
+	}
+	var got []stamp
+	seq := 0
+	for i := 0; i < 5000; i++ {
+		at := float64(s.Rand().IntN(100)) // heavy duplication
+		n := seq
+		seq++
+		s.At(at, func() { got = append(got, stamp{at: at, seq: n}) })
+	}
+	s.Run()
+	if len(got) != 5000 {
+		t.Fatalf("ran %d events, want 5000", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("time order violated at %d: %v after %v", i, got[i], got[i-1])
+		}
+		if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+			t.Fatalf("FIFO violated at %d: seq %d after %d", i, got[i].seq, got[i-1].seq)
+		}
+	}
+}

@@ -7,27 +7,40 @@
 //
 // The kernel is single-threaded by design: determinism is what lets the
 // test suite assert the paper's theorem bounds on every simulated state.
+//
+// Performance model: the event queue is a hand-specialized binary min-heap
+// over []*Event (no container/heap interface boxing on push or pop), and
+// fired or cancelled Event structs are recycled on a per-simulator free
+// list. In steady state a Schedule/pop cycle therefore performs no
+// allocation: the heap's backing array and the pool reach their
+// high-water mark and stay there. The price of pooling is a lifecycle rule:
+// an *Event handle is valid until its event fires (or Reset is called);
+// Cancel on a handle that has already fired is a no-op, but a handle must
+// not be retained and cancelled after further events have been scheduled,
+// because the struct may by then belong to a new event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand/v2"
 )
 
 // Event is a scheduled callback. Cancel prevents a pending event from
-// running; cancelling a fired or already-cancelled event is a no-op.
+// running; cancelling a fired or already-cancelled event is a no-op (see
+// the package comment for the pooling lifecycle rule).
 type Event struct {
 	at        float64
 	seq       uint64
 	fn        func()
+	call      func(any) // closure-free form: call(arg) when fn is nil
+	arg       any
 	cancelled bool
 	index     int // heap index, -1 once popped
 }
 
 // Cancel prevents the event from firing.
 func (e *Event) Cancel() {
-	if e != nil {
+	if e != nil && e.index >= 0 {
 		e.cancelled = true
 	}
 }
@@ -35,45 +48,13 @@ func (e *Event) Cancel() {
 // Time returns the virtual time at which the event is scheduled.
 func (e *Event) Time() float64 { return e.at }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
-
 // Simulator owns the virtual clock, the event queue, and the run's PRNG.
 type Simulator struct {
 	now   float64
-	queue eventQueue
+	queue []*Event // binary min-heap ordered by (at, seq)
+	free  []*Event // recycled Event structs
 	rng   *rand.Rand
+	pcg   *rand.PCG // rng's source, kept for allocation-free reseeding
 	seq   uint64
 	steps uint64
 }
@@ -81,7 +62,24 @@ type Simulator struct {
 // New returns a simulator at virtual time zero whose PRNG is seeded with
 // seed. The same seed always reproduces the same run.
 func New(seed uint64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewPCG(seed, seed^0xda942042e4dd58b5))}
+	pcg := rand.NewPCG(seed, seed^0xda942042e4dd58b5)
+	return &Simulator{rng: rand.New(pcg), pcg: pcg}
+}
+
+// Reset returns the simulator to virtual time zero with an empty queue, a
+// fresh PRNG seeded with seed, and zeroed counters, while keeping the event
+// pool and the queue's backing array warm. A benchmark or trial loop can
+// therefore reuse one Simulator across runs without re-paying allocation
+// warm-up. Outstanding *Event handles are invalidated.
+func (s *Simulator) Reset(seed uint64) {
+	for _, e := range s.queue {
+		s.release(e)
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.steps = 0
+	s.pcg.Seed(seed, seed^0xda942042e4dd58b5)
 }
 
 // Now returns the current virtual time in seconds.
@@ -94,21 +92,65 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 // Steps returns the number of events executed so far.
 func (s *Simulator) Steps() uint64 { return s.steps }
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the
-// past panics: it would silently reorder causality.
-func (s *Simulator) At(at float64, fn func()) *Event {
+// alloc takes an Event from the pool, or makes one.
+func (s *Simulator) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+// release returns a popped event to the pool, dropping callback references
+// so closures do not outlive their event.
+func (s *Simulator) release(e *Event) {
+	e.fn = nil
+	e.call = nil
+	e.arg = nil
+	e.cancelled = false
+	e.index = -1
+	s.free = append(s.free, e)
+}
+
+// schedule allocates, fills, and pushes one event.
+func (s *Simulator) schedule(at float64, fn func(), call func(any), arg any) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn}
+	e := s.alloc()
+	e.at = at
+	e.seq = s.seq
+	e.fn = fn
+	e.call = call
+	e.arg = arg
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.push(e)
 	return e
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: it would silently reorder causality.
+func (s *Simulator) At(at float64, fn func()) *Event {
+	return s.schedule(at, fn, nil, nil)
 }
 
 // After schedules fn to run d seconds from now. Negative delays panic.
 func (s *Simulator) After(d float64, fn func()) *Event {
-	return s.At(s.now+d, fn)
+	return s.schedule(s.now+d, fn, nil, nil)
+}
+
+// AtCall schedules call(arg) at absolute virtual time at. It is the
+// closure-free form of At for hot paths: a package-level call function plus
+// a caller-pooled arg schedules an event without allocating a closure.
+func (s *Simulator) AtCall(at float64, call func(any), arg any) *Event {
+	return s.schedule(at, nil, call, arg)
+}
+
+// AfterCall schedules call(arg) d seconds from now, without a closure.
+func (s *Simulator) AfterCall(d float64, call func(any), arg any) *Event {
+	return s.schedule(s.now+d, nil, call, arg)
 }
 
 // Every schedules fn to run every period seconds, starting period seconds
@@ -132,6 +174,9 @@ func (s *Simulator) Every(period float64, fn func()) (stop func()) {
 	}
 	pending = s.After(period, tick)
 	return func() {
+		if stopped {
+			return
+		}
 		stopped = true
 		pending.Cancel()
 	}
@@ -141,13 +186,19 @@ func (s *Simulator) Every(period float64, fn func()) (stop func()) {
 // empty.
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+		e := s.pop()
 		if e.cancelled {
+			s.release(e)
 			continue
 		}
 		s.now = e.at
 		s.steps++
-		e.fn()
+		if e.fn != nil {
+			e.fn()
+		} else {
+			e.call(e.arg)
+		}
+		s.release(e)
 		return true
 	}
 	return false
@@ -194,10 +245,79 @@ func (s *Simulator) Pending() int {
 func (s *Simulator) peek() *Event {
 	for len(s.queue) > 0 {
 		if e := s.queue[0]; e.cancelled {
-			heap.Pop(&s.queue)
+			s.release(s.pop())
 			continue
 		}
 		return s.queue[0]
 	}
 	return nil
+}
+
+// --- hand-specialized binary min-heap over (at, seq) ---
+//
+// Identical ordering to the former container/heap implementation, without
+// the interface-method and any-boxing costs on every push and pop.
+
+// less orders events by time, then by scheduling sequence (FIFO at equal
+// times).
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts e into the heap.
+func (s *Simulator) push(e *Event) {
+	q := append(s.queue, e)
+	i := len(q) - 1
+	e.index = i
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		q[i].index = i
+		q[parent].index = parent
+		i = parent
+	}
+	s.queue = q
+}
+
+// pop removes and returns the minimum event. The queue must be non-empty.
+func (s *Simulator) pop() *Event {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	s.queue = q
+	top.index = -1
+	if n == 0 {
+		return top
+	}
+	// Sift the former last element down from the root.
+	i := 0
+	q[0] = last
+	last.index = 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(q[l], q[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(q[r], q[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		q[i].index = i
+		q[smallest].index = smallest
+		i = smallest
+	}
+	return top
 }

@@ -143,10 +143,33 @@ type Network struct {
 	rng      *rand.Rand
 	handlers []Handler
 	links    map[linkKey]LinkConfig
-	group    []int // partition group per node; -1 = default group
+	group    []int       // partition group per node; -1 = default group
+	adj      [][]NodeID  // cached sorted adjacency per node
+	free     []*delivery // recycled in-flight message envelopes
 
 	// Stats counts traffic for experiment reporting.
 	Stats Stats
+}
+
+// delivery is one in-flight message envelope. Envelopes are pooled on the
+// Network and scheduled through sim.AfterCall, so a Send performs no
+// closure allocation and no Message copy onto the heap in steady state.
+type delivery struct {
+	net *Network
+	msg Message
+}
+
+// deliver hands the envelope's message to its destination handler and
+// recycles the envelope. It is the package-level callback for AfterCall.
+func deliver(x any) {
+	d := x.(*delivery)
+	n := d.net
+	n.Stats.Delivered++
+	if h := n.handlers[d.msg.To]; h != nil {
+		h(d.msg)
+	}
+	d.msg = Message{} // drop the payload reference before pooling
+	n.free = append(n.free, d)
 }
 
 // Stats accumulates network counters.
@@ -172,7 +195,31 @@ func New(s *sim.Simulator) *Network {
 func (n *Network) AddNode(h Handler) NodeID {
 	n.handlers = append(n.handlers, h)
 	n.group = append(n.group, -1)
+	n.adj = append(n.adj, nil)
 	return NodeID(len(n.handlers) - 1)
+}
+
+// addAdj inserts b into a's cached adjacency list, keeping it sorted and
+// duplicate-free.
+func (n *Network) addAdj(a, b NodeID) {
+	list := n.adj[a]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= b })
+	if i < len(list) && list[i] == b {
+		return // replacing an existing link
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = b
+	n.adj[a] = list
+}
+
+// dropAdj removes b from a's cached adjacency list.
+func (n *Network) dropAdj(a, b NodeID) {
+	list := n.adj[a]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= b })
+	if i < len(list) && list[i] == b {
+		n.adj[a] = append(list[:i], list[i+1:]...)
+	}
 }
 
 // SetHandler installs the message handler for id, replacing any previous
@@ -201,12 +248,18 @@ func (n *Network) Connect(a, b NodeID, cfg LinkConfig) error {
 		return fmt.Errorf("simnet: connect %d-%d: loss %v outside [0,1)", a, b, cfg.Loss)
 	}
 	n.links[keyFor(a, b)] = cfg
+	n.addAdj(a, b)
+	n.addAdj(b, a)
 	return nil
 }
 
 // Disconnect removes the link between a and b, if any.
 func (n *Network) Disconnect(a, b NodeID) {
 	delete(n.links, keyFor(a, b))
+	if n.valid(a) && n.valid(b) {
+		n.dropAdj(a, b)
+		n.dropAdj(b, a)
+	}
 }
 
 // Connected reports whether a usable link exists between a and b and the
@@ -223,18 +276,14 @@ func (n *Network) Connected(a, b NodeID) bool {
 
 // Neighbors returns the ids linked to id, in increasing order, ignoring
 // partitions (a partition hides a neighbor from traffic, not from the
-// topology).
+// topology). The returned slice is a copy; Broadcast iterates the cached
+// adjacency directly.
 func (n *Network) Neighbors(id NodeID) []NodeID {
-	var out []NodeID
-	for k := range n.links {
-		switch id {
-		case k.a:
-			out = append(out, k.b)
-		case k.b:
-			out = append(out, k.a)
-		}
+	if !n.valid(id) || len(n.adj[id]) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]NodeID, len(n.adj[id]))
+	copy(out, n.adj[id])
 	return out
 }
 
@@ -260,21 +309,27 @@ func (n *Network) Send(from, to NodeID, payload any) bool {
 		n.Stats.Lost++
 		return true // sent, silently lost
 	}
-	msg := Message{From: from, To: to, Payload: payload, SentAt: n.sim.Now()}
-	n.sim.After(cfg.delayFor(from, to).Sample(n.rng), func() {
-		n.Stats.Delivered++
-		if h := n.handlers[to]; h != nil {
-			h(msg)
-		}
-	})
+	var d *delivery
+	if k := len(n.free); k > 0 {
+		d = n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+	} else {
+		d = &delivery{net: n}
+	}
+	d.msg = Message{From: from, To: to, Payload: payload, SentAt: n.sim.Now()}
+	n.sim.AfterCall(cfg.delayFor(from, to).Sample(n.rng), deliver, d)
 	return true
 }
 
 // Broadcast sends payload from id to every neighbor, returning the number
 // of sends that were accepted (linked and not partitioned).
 func (n *Network) Broadcast(from NodeID, payload any) int {
+	if !n.valid(from) {
+		return 0
+	}
 	sent := 0
-	for _, to := range n.Neighbors(from) {
+	for _, to := range n.adj[from] {
 		if n.Send(from, to, payload) {
 			sent++
 		}
