@@ -3,9 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test check test-race cover bench experiments ablations examples clean
+# Canonical race list: every package that hosts pooled state, the
+# parallel experiment runner, or real concurrency. Referenced by BOTH
+# `make test` and `make test-race` so no package is raced in one target
+# but omitted from the other.
+RACE_PKGS = ./internal/par ./internal/sim ./internal/experiments \
+            ./internal/service ./internal/simnet ./internal/interval \
+            ./internal/udptime ./cmd/...
 
-all: build vet test
+.PHONY: all build vet lint test check test-race cover bench experiments ablations examples clean
+
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -13,17 +21,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Tier-1 gate: vet, the full suite, and a race pass over the packages that
-# host the parallel experiment runner and the pooled event kernel.
+# Static-analysis gate: the five repo-specific invariant checks
+# (nowcheck, globalrand, floateq, mapiter, poolput) built on the standard
+# library only. See DESIGN.md §10 for the invariant each one guards.
+lint:
+	$(GO) run ./cmd/disttimelint ./...
+
+# Tier-1 gate: vet, the full suite, and a race pass over RACE_PKGS.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/par ./internal/sim ./internal/experiments
+	$(GO) test -race $(RACE_PKGS)
 
-check: test
+# check = vet + lint + test + race: the tier-1 tests and the lint gate
+# travel together (race rides inside `test` via RACE_PKGS).
+check: vet lint test
 
 test-race:
-	$(GO) test -race ./internal/udptime/ ./cmd/...
+	$(GO) test -race $(RACE_PKGS)
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,25 @@
+// Command disttimelint runs disttime's in-tree static analyzers: five
+// repo-specific invariant checks (nowcheck, globalrand, floateq, mapiter,
+// poolput) built on the standard library's go/ast and go/types, with no
+// external dependencies. See internal/lint for the framework and
+// DESIGN.md §10 for the invariant each check guards.
+//
+// Usage:
+//
+//	disttimelint [-json] [-checks nowcheck,floateq] [patterns...]
+//
+// Patterns are package directories or recursive "dir/..." walks (default
+// "./..."). The exit code is 0 when clean, 1 on findings, 2 on load or
+// usage errors. Findings can be suppressed line-by-line with a justified
+// "//lint:ignore <check> <reason>" directive.
+package main
+
+import (
+	"os"
+
+	"disttime/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -183,7 +183,7 @@ func (c *RandomWalk) advance(t float64) {
 
 // resample perturbs the rate and reflects it into [-maxDrift, maxDrift].
 func (c *RandomWalk) resample() {
-	if c.maxDrift == 0 {
+	if c.maxDrift <= 0 {
 		return
 	}
 	r := c.rate + c.rng.NormFloat64()*c.sigma

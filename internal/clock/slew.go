@@ -46,6 +46,10 @@ func (c *Slewing) Read(t float64) float64 {
 	}
 	dInner := innerNow - c.lastInner
 	c.lastInner = innerNow
+	// The final absorption step subtracts exactly the remaining pending
+	// amount (absorb == c.pending bit-for-bit), so pending reaches
+	// exactly 0 and the sentinel compare below is provably safe.
+	//lint:ignore floateq pending is driven to exactly 0 when a correction fully absorbs
 	if dInner > 0 && c.pending != 0 {
 		absorb := math.Min(math.Abs(c.pending), c.rate*dInner)
 		if c.pending < 0 {

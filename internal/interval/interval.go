@@ -361,6 +361,16 @@ func (sw *Sweeper) ConsistencyGroups(ivs []Interval) []Group {
 	return groups
 }
 
+// SameEdge reports whether two interval endpoints (or any two float64
+// time values) are exactly the same value. It exists as the approved
+// exact-equality helper for the floateq analyzer: computed endpoints
+// rarely share bit patterns, so ordinary code must not compare them with
+// ==, but sentinel tests ("did this value change at all?") and tie-breaks
+// on genuinely identical values are legitimate — routing them through
+// SameEdge makes the intent machine-checkable. NaN is never the same as
+// anything, including itself.
+func SameEdge(a, b float64) bool { return a == b }
+
 // Consonant reports whether two clocks' rate intervals are consistent in
 // the sense of Section 5: the observed rate of separation lies within the
 // sum of the claimed drift bounds. rate is d(Ci - Cj)/dt and deltaI, deltaJ

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand bans draws from the shared, implicitly-seeded generators of
+// math/rand and math/rand/v2 (rand.IntN, rand.Float64, ...). Experiments
+// are byte-identical across runs and under the parallel runner only when
+// every random number flows through an injected *rand.Rand built from a
+// named seed (rand.New(rand.NewPCG(seed1, seed2))). A single global draw
+// re-introduces cross-goroutine ordering dependence and breaks
+// reproducibility of every figure downstream.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "no package-level math/rand(/v2) draws; randomness flows through injected seeded generators",
+	Run:  runGlobalRand,
+}
+
+// randConstructors are the package-level functions of math/rand(/v2) that
+// construct explicit generators or sources rather than drawing from the
+// global one. They are the sanctioned entry points.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewSource":  true,
+	"NewZipf":    true,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand / sources are the sanctioned path;
+			// only package-level draws hit the shared generator.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s draws from the shared global generator; inject a seeded *rand.Rand (rand.New(rand.NewPCG(...))) instead",
+				fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,10 @@
+// Package badignore holds malformed //lint:ignore directives; the
+// framework reports them as diagnostics of check "lint" instead of
+// silently accepting an unjustified suppression.
+package badignore
+
+//lint:ignore
+func missingEverything() {}
+
+//lint:ignore floateq
+func missingReason() {}

@@ -1,0 +1,56 @@
+// Package clean is a fixture with zero findings: it demonstrates the
+// sanctioned forms of everything the analyzers police, and the driver
+// test asserts that linting it exits 0.
+package clean
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+)
+
+// report ranges a map the approved way: keys out, sort, range the slice.
+func report(m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// jitter draws only through an injected generator.
+func jitter(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// seeded builds its generator from named seeds.
+func seeded(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// approxEqual compares floats with an epsilon, not ==.
+func approxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+type scratch struct{ sum float64 }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// pooled computes with a pooled scratch value and releases it only after
+// the last read.
+func pooled(xs []float64) float64 {
+	s := scratchPool.Get().(*scratch)
+	s.sum = 0
+	for _, x := range xs {
+		s.sum += x
+	}
+	total := s.sum
+	scratchPool.Put(s)
+	return total
+}

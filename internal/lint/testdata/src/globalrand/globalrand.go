@@ -1,0 +1,38 @@
+// Package globalrand exercises the globalrand analyzer: package-level
+// draws from math/rand and math/rand/v2 hit the shared, implicitly-seeded
+// generator and break experiment reproducibility.
+package globalrand
+
+import (
+	randv1 "math/rand"
+	"math/rand/v2"
+)
+
+func bad() (int, float64, int64) {
+	n := rand.IntN(10)      // want `math/rand/v2\.IntN draws from the shared global generator`
+	f := randv1.Float64()   // want `math/rand\.Float64 draws from the shared global generator`
+	g := rand.N(int64(100)) // want `math/rand/v2\.N draws from the shared global generator`
+	return n, f, g
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `math/rand/v2\.Shuffle draws from the shared global generator`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// good shows the sanctioned path: explicit construction from a named
+// seed, then drawing through the injected generator.
+func good() float64 {
+	rng := rand.New(rand.NewPCG(1, 2))
+	return rng.Float64()
+}
+
+func goodV1() float64 {
+	rng := randv1.New(randv1.NewSource(42))
+	return rng.Float64()
+}
+
+func goodChaCha(seed [32]byte) uint64 {
+	return rand.NewChaCha8(seed).Uint64()
+}

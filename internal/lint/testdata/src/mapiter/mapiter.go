@@ -1,0 +1,73 @@
+// Package mapiter exercises the mapiter analyzer: ranging over a map
+// whose body feeds order-sensitive sinks (output, writers, slice
+// accumulation) leaks Go's randomized iteration order into artifacts
+// that must be byte-identical run-to-run.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want `range over map feeds fmt output`
+		fmt.Println(k, v)
+	}
+}
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map feeds slice accumulation`
+		out = append(out, k)
+	}
+	return out // unsorted: caller sees random order
+}
+
+func badWriter(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `range over map feeds writer method WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func badNested(m map[string][]int, w *strings.Builder) {
+	for k, vs := range m { // want `range over map feeds writer method WriteString`
+		for range vs {
+			w.WriteString(k)
+		}
+	}
+}
+
+// goodSorted is the canonical fix: collect keys, sort, range the slice.
+// The key-collection loop appends, but the target is sorted before use,
+// so it is order-laundering, not an order leak.
+func goodSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// goodCount is order-insensitive: accumulation commutes.
+func goodCount(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodRekey builds another map; map inserts are order-insensitive.
+func goodRekey(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

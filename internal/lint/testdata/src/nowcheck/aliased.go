@@ -1,0 +1,9 @@
+package nowcheck
+
+import stdtime "time"
+
+// aliased shows the check resolves through import aliases: the object,
+// not the source text, is what matters.
+func aliased() stdtime.Time {
+	return stdtime.Now() // want "time.Now reads the host wall clock"
+}

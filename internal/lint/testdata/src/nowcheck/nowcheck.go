@@ -1,0 +1,33 @@
+// Package nowcheck exercises the nowcheck analyzer: this package is
+// outside the wall-clock allowlist, so any time.Now/Since/Sleep reference
+// is a finding.
+package nowcheck
+
+import "time"
+
+func bad() time.Time {
+	t := time.Now()              // want "time.Now reads the host wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host wall clock"
+	_ = time.Since(t)            // want "time.Since reads the host wall clock"
+	return t
+}
+
+// asValue catches wall-clock functions smuggled out as values, not just
+// direct calls.
+func asValue() func() time.Time {
+	return time.Now // want "time.Now reads the host wall clock"
+}
+
+// allowedUses shows that the rest of package time is fine: durations,
+// formatting, and explicit construction carry no hidden wall-clock read.
+func allowedUses() (time.Duration, time.Time) {
+	d := 3 * time.Second
+	return d, time.Unix(0, 0)
+}
+
+// suppressed demonstrates a justified suppression: the directive names
+// the check and gives a reason, so no diagnostic survives.
+func suppressed() time.Time {
+	//lint:ignore nowcheck fixture demonstrating a justified suppression
+	return time.Now()
+}

@@ -1,0 +1,92 @@
+// Package poolput exercises the poolput analyzer: once a value is
+// returned to a pool (sync.Pool.Put, a wrapper, or a free-list release
+// helper), the caller must not read it, Put it again, or have stored it
+// into a long-lived field.
+package poolput
+
+import "sync"
+
+type buf struct {
+	n    int
+	data []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return new(buf) }}
+
+func useAfterPut() int {
+	b := bufPool.Get().(*buf)
+	bufPool.Put(b)
+	return b.n // want `b used after being returned to its pool`
+}
+
+func doublePut() {
+	b := bufPool.Get().(*buf)
+	bufPool.Put(b)
+	bufPool.Put(b) // want `b used after being returned to its pool`
+}
+
+type holder struct{ last *buf }
+
+func fieldStore(h *holder) {
+	b := bufPool.Get().(*buf)
+	h.last = b // want `pooled value b stored into field h.last`
+	bufPool.Put(b)
+}
+
+// putBuf is a release wrapper: the analyzer learns that its parameter is
+// consumed, so calling it counts as a Put at the call site.
+func putBuf(b *buf) {
+	b.n = 0
+	bufPool.Put(b)
+}
+
+func viaWrapper() int {
+	b := bufPool.Get().(*buf)
+	putBuf(b)
+	return b.n // want `b used after being returned to its pool`
+}
+
+// cache is a slice free list in the style of the simulator's event pool;
+// release-named helpers that append a parameter are treated as Puts.
+type cache struct{ free []*buf }
+
+func (c *cache) release(b *buf) {
+	c.free = append(c.free, b)
+}
+
+func viaFreeList(c *cache) int {
+	b := new(buf)
+	c.release(b)
+	return b.n // want `b used after being returned to its pool`
+}
+
+// reassigned is fine: after rebinding, b no longer aliases the pooled
+// struct.
+func reassigned() int {
+	b := bufPool.Get().(*buf)
+	bufPool.Put(b)
+	b = new(buf)
+	return b.n
+}
+
+// branchPut is fine: the put sits in a block that returns, so control
+// never flows from the put to the later uses.
+func branchPut(done bool) {
+	b := bufPool.Get().(*buf)
+	if done {
+		bufPool.Put(b)
+		return
+	}
+	b.n++
+	bufPool.Put(b)
+}
+
+// normalUse is the intended pattern: compute the result, release, return
+// the computed value.
+func normalUse(xs []byte) int {
+	b := bufPool.Get().(*buf)
+	b.data = append(b.data[:0], xs...)
+	n := len(b.data)
+	bufPool.Put(b)
+	return n
+}

@@ -124,7 +124,7 @@ func Cluster(readings []Reading, survivors []int, keep int) []int {
 			}
 			mean /= float64(count)
 			score := math.Abs(readings[idx].Interval.Midpoint() - mean)
-			if score > worstScore || (score == worstScore && worst >= 0 &&
+			if score > worstScore || (interval.SameEdge(score, worstScore) && worst >= 0 &&
 				readings[idx].RTT > readings[current[worst]].RTT) {
 				worst, worstScore = k, score
 			}

@@ -40,8 +40,11 @@ func SelectRFC(readings []Reading, opts Options) (Selection, error) {
 		mids = append(mids, r.Interval.Midpoint())
 	}
 	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].at != edges[j].at {
-			return edges[i].at < edges[j].at
+		if edges[i].at < edges[j].at {
+			return true
+		}
+		if edges[i].at > edges[j].at {
+			return false
 		}
 		return edges[i].typ > edges[j].typ
 	})

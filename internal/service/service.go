@@ -416,7 +416,7 @@ func (n *Node) finishRound(col *collection) {
 	}
 	// A reset shifts the local timeline; translate the rate samples so
 	// the estimates stay continuous across it (Section 5 bookkeeping).
-	if after := n.Server.Read(now); after != before {
+	if after := n.Server.Read(now); !interval.SameEdge(after, before) {
 		n.Rates.ShiftLocal(after - before)
 	}
 	if n.Spec.AdaptiveDelta {

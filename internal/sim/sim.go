@@ -261,8 +261,11 @@ func (s *Simulator) peek() *Event {
 // less orders events by time, then by scheduling sequence (FIFO at equal
 // times).
 func eventLess(a, b *Event) bool {
-	if a.at != b.at {
-		return a.at < b.at
+	if a.at < b.at {
+		return true
+	}
+	if a.at > b.at {
+		return false
 	}
 	return a.seq < b.seq
 }

@@ -137,7 +137,8 @@ func LinearFit(xs, ys []float64) (slope, intercept float64, err error) {
 		sxx += dx * dx
 		sxy += dx * (ys[i] - my)
 	}
-	if sxx == 0 {
+	// sxx is a sum of squares, so "no x spread" is exactly sxx <= 0.
+	if sxx <= 0 {
 		return 0, 0, errors.New("stats: degenerate x range")
 	}
 	slope = sxy / sxx

@@ -1,6 +1,8 @@
 package udptime
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -63,8 +65,26 @@ func NewClient(timeout time.Duration, local ClockSource) *Client {
 	return &Client{
 		Timeout:    timeout,
 		LocalClock: local,
-		rng:        rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())),
+		rng:        newReqIDRNG(),
 	}
+}
+
+// newReqIDRNG seeds the request-ID generator from the OS entropy source,
+// falling back to the wall clock (this is the real-network package, where
+// reading it is legitimate). Request IDs should be unpredictable to
+// off-path spoofers, and seeding from an explicit source — rather than
+// the process-global math/rand generator — keeps the simulated paths'
+// byte-determinism guarantee intact: nothing outside this constructor
+// consumes shared randomness.
+func newReqIDRNG() *rand.Rand {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return rand.New(rand.NewPCG(
+			binary.LittleEndian.Uint64(b[:8]),
+			binary.LittleEndian.Uint64(b[8:])))
+	}
+	now := uint64(time.Now().UnixNano())
+	return rand.New(rand.NewPCG(now, now^0x9e3779b97f4a7c15))
 }
 
 func (c *Client) timeout() time.Duration {
@@ -86,7 +106,7 @@ func (c *Client) nextReqID() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.rng == nil {
-		c.rng = rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+		c.rng = newReqIDRNG()
 	}
 	return c.rng.Uint64()
 }
