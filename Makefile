@@ -9,9 +9,15 @@ GO ?= go
 # but omitted from the other.
 RACE_PKGS = ./internal/par ./internal/sim ./internal/experiments \
             ./internal/service ./internal/simnet ./internal/interval \
-            ./internal/udptime ./cmd/...
+            ./internal/chaos ./internal/udptime ./cmd/...
 
-.PHONY: all build vet lint test check test-race cover bench experiments ablations examples clean
+# Packages whose line coverage is floored by `make cover-check` (and so by
+# `make check`): the theorem algebra and the interval sweep are the proof
+# core, so untested lines there are untested math.
+COVER_FLOOR_PKGS = ./internal/core ./internal/interval
+COVER_FLOOR     ?= 85
+
+.PHONY: all build vet lint test check test-race cover cover-check chaos fuzz-smoke bench experiments ablations examples clean
 
 all: build vet lint test
 
@@ -33,15 +39,42 @@ test:
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 
-# check = vet + lint + test + race: the tier-1 tests and the lint gate
-# travel together (race rides inside `test` via RACE_PKGS).
-check: vet lint test
+# check = vet + lint + test + race + coverage floor: the tier-1 tests,
+# the lint gate, and the proof-core coverage floor travel together (race
+# rides inside `test` via RACE_PKGS).
+check: vet lint test cover-check
 
 test-race:
 	$(GO) test -race $(RACE_PKGS)
 
 cover:
 	$(GO) test -cover ./...
+
+# Coverage floor over COVER_FLOOR_PKGS: fail if any of them dips below
+# COVER_FLOOR percent line coverage.
+cover-check:
+	@for pkg in $(COVER_FLOOR_PKGS); do \
+		line=$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
+		if [ -z "$$line" ]; then echo "cover-check: no coverage for $$pkg"; exit 1; fi; \
+		ok=$$(awk -v c="$$line" -v f="$(COVER_FLOOR)" 'BEGIN { print (c >= f) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then \
+			echo "cover-check: $$pkg coverage $$line% below floor $(COVER_FLOOR)%"; exit 1; \
+		fi; \
+		echo "cover-check: $$pkg $$line% (floor $(COVER_FLOOR)%)"; \
+	done
+
+# Chaos conformance: 60 seeded fault campaigns under the always-on
+# theorem-invariant monitor (deterministic: identical output every run).
+# Failures are shrunk to one-line reproducers; commit the interesting
+# ones under internal/chaos/corpus/. See DESIGN.md §11.
+chaos:
+	$(GO) run ./cmd/timesim -chaos -campaigns 60 -chaos-seed 1
+
+# Short coverage-guided fuzz pass over the M-of-N interval sweep (vs the
+# naive oracle). CI-sized; run with a larger -fuzztime when hunting.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/interval -run '^$$' -fuzz FuzzIntersectMofN -fuzztime $(FUZZTIME)
 
 # One benchmark per paper figure/claim plus the ablations; doubles as the
 # reproduction gate (a benchmark fails if its paper-shape stops holding).

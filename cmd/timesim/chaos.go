@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"disttime/internal/chaos"
+)
+
+// chaosOpts carries the chaos-mode flags.
+type chaosOpts struct {
+	campaigns int
+	seed      uint64
+	replay    string
+	shrink    bool
+}
+
+// runChaos executes a batch of generated campaigns (or replays one
+// reproducer) and reports one line per campaign. The output is a pure
+// function of the flags: campaigns are generated from consecutive seeds
+// and every run is deterministic, so two invocations with the same flags
+// print identical bytes. The returned error is non-nil when any campaign
+// failed, which makes the exit status the CI signal.
+func runChaos(opts chaosOpts, out io.Writer) error {
+	if opts.replay != "" {
+		return replayReproducer(opts.replay, out)
+	}
+	if opts.campaigns <= 0 {
+		return fmt.Errorf("chaos: -campaigns must be positive, got %d", opts.campaigns)
+	}
+	failed := 0
+	for i := 0; i < opts.campaigns; i++ {
+		seed := opts.seed + uint64(i)
+		c := chaos.Generate(seed)
+		v, err := chaos.Run(c)
+		if err != nil {
+			return fmt.Errorf("chaos: seed %d: %w", seed, err)
+		}
+		if v.OK {
+			fmt.Fprintf(out, "campaign seed=%d n=%d fn=%s topo=%s faults=%d verdict=ok steps=%d\n",
+				seed, c.N, c.FnName, c.Topo, len(c.Faults), v.Steps)
+			continue
+		}
+		failed++
+		first, _ := v.First()
+		fmt.Fprintf(out, "campaign seed=%d n=%d fn=%s topo=%s faults=%d verdict=FAIL steps=%d\n",
+			seed, c.N, c.FnName, c.Topo, len(c.Faults), v.Steps)
+		fmt.Fprintf(out, "  violation: %v\n", first)
+		if opts.shrink {
+			res, err := chaos.Shrink(c, chaos.Run, 0)
+			if err != nil {
+				return fmt.Errorf("chaos: seed %d: shrink: %w", seed, err)
+			}
+			fmt.Fprintf(out, "  reproducer (%d faults, %d shrink runs): %s\n",
+				len(res.Campaign.Faults), res.Runs, res.Campaign)
+		} else {
+			fmt.Fprintf(out, "  reproducer: %s\n", c)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("chaos: %d of %d campaigns violated an invariant", failed, opts.campaigns)
+	}
+	fmt.Fprintf(out, "chaos: %d campaigns ok\n", opts.campaigns)
+	return nil
+}
+
+// replayReproducer re-executes one reproducer, given either as a literal
+// line or as a path to a corpus file ('#'-comment lines are skipped). The
+// campaign is run twice and the step counts compared, so a replay also
+// re-proves determinism.
+func replayReproducer(arg string, out io.Writer) error {
+	line := arg
+	if data, err := os.ReadFile(arg); err == nil {
+		line = ""
+		for _, l := range strings.Split(string(data), "\n") {
+			l = strings.TrimSpace(l)
+			if l != "" && !strings.HasPrefix(l, "#") {
+				line = l
+			}
+		}
+		if line == "" {
+			return fmt.Errorf("chaos: %s holds no reproducer line", arg)
+		}
+	}
+	c, err := chaos.Parse(line)
+	if err != nil {
+		return err
+	}
+	v, err := chaos.Run(c)
+	if err != nil {
+		return err
+	}
+	again, err := chaos.Run(c)
+	if err != nil {
+		return err
+	}
+	if again.Steps != v.Steps || again.OK != v.OK {
+		return fmt.Errorf("chaos: replay is not deterministic (steps %d vs %d)", v.Steps, again.Steps)
+	}
+	if v.OK {
+		fmt.Fprintf(out, "replay seed=%d verdict=ok steps=%d\n", c.Seed, v.Steps)
+		return nil
+	}
+	fmt.Fprintf(out, "replay seed=%d verdict=FAIL steps=%d\n", c.Seed, v.Steps)
+	for _, viol := range v.Violations {
+		fmt.Fprintf(out, "  violation: %v\n", viol)
+	}
+	return fmt.Errorf("chaos: reproducer violated %d invariant observations", len(v.Violations))
+}

@@ -10,10 +10,14 @@
 //	timesim -all
 //	timesim -all -parallel 0        # fan out over GOMAXPROCS workers
 //	timesim -ablations -parallel 4  # identical output, 4 workers
+//	timesim -chaos -campaigns 60 -chaos-seed 1
+//	timesim -chaos -replay internal/chaos/corpus/buggy-mm-containment.repro
 //
 // Each experiment prints the paper's claim, the measured finding, and the
 // regenerated table. The exit status is nonzero when a reproduced shape
-// does not hold.
+// does not hold. The -chaos mode instead runs randomized fault campaigns
+// under the always-on theorem-invariant monitor (see internal/chaos),
+// shrinking any failure to a one-line reproducer.
 package main
 
 import (
@@ -44,6 +48,11 @@ func run(args []string, out io.Writer) error {
 		asCSV     = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		figures   = fs.Bool("figures", false, "render the paper's four figures as interval diagrams")
 		parallel  = fs.Int("parallel", 1, "worker budget for -all/-ablations and per-experiment trials (0 = GOMAXPROCS); output is byte-identical at any setting")
+		doChaos   = fs.Bool("chaos", false, "run randomized fault campaigns under the theorem-invariant monitor")
+		campaigns = fs.Int("campaigns", 60, "number of chaos campaigns to run (with -chaos)")
+		chaosSeed = fs.Uint64("chaos-seed", 1, "first campaign seed (with -chaos; campaigns use consecutive seeds)")
+		replay    = fs.String("replay", "", "replay a chaos reproducer: a literal line or a corpus file path (with -chaos)")
+		noShrink  = fs.Bool("no-shrink", false, "report failing chaos campaigns without minimizing them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +71,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	switch {
+	case *doChaos:
+		return runChaos(chaosOpts{
+			campaigns: *campaigns,
+			seed:      *chaosSeed,
+			replay:    *replay,
+			shrink:    !*noShrink,
+		}, out)
 	case *figures:
 		_, err := fmt.Fprintln(out, experiments.Figures())
 		return err
@@ -93,6 +109,6 @@ func run(args []string, out io.Writer) error {
 		return emit(tbl)
 	default:
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -list, -all, -ablations, -figures, or -experiment")
+		return fmt.Errorf("nothing to do: pass -list, -all, -ablations, -figures, -experiment, or -chaos")
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -70,6 +71,64 @@ func TestRunCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, "algorithm,resulting C") {
 		t.Errorf("CSV header row missing:\n%s", out)
+	}
+}
+
+func TestRunChaosBatch(t *testing.T) {
+	var a, b strings.Builder
+	args := []string{"-chaos", "-campaigns", "12", "-chaos-seed", "1"}
+	if err := run(args, &a); err != nil {
+		t.Fatalf("%v\n%s", err, a.String())
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("chaos batch output is not deterministic")
+	}
+	if !strings.Contains(a.String(), "chaos: 12 campaigns ok") {
+		t.Errorf("missing summary line:\n%s", a.String())
+	}
+	if strings.Count(a.String(), "verdict=ok") != 12 {
+		t.Errorf("expected 12 ok verdict lines:\n%s", a.String())
+	}
+}
+
+func TestRunChaosBadCampaignCount(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-chaos", "-campaigns", "0"}, &buf); err == nil {
+		t.Error("zero campaign count accepted")
+	}
+}
+
+func TestRunChaosReplayLine(t *testing.T) {
+	var buf strings.Builder
+	line := "v1 seed=3 n=4 topo=star fn=IM rec=0 dur=300 sync=30 faults=-"
+	if err := run([]string{"-chaos", "-replay", line}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "replay seed=3 verdict=ok") {
+		t.Errorf("unexpected replay output:\n%s", buf.String())
+	}
+}
+
+func TestRunChaosReplayCorpusFiles(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "internal", "chaos", "corpus", "*.repro"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus glob: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		var buf strings.Builder
+		if err := run([]string{"-chaos", "-replay", f}, &buf); err != nil {
+			t.Errorf("%s: %v\n%s", f, err, buf.String())
+		}
+	}
+}
+
+func TestRunChaosReplayMalformed(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-chaos", "-replay", "v1 nonsense"}, &buf); err == nil {
+		t.Error("malformed reproducer accepted")
 	}
 }
 

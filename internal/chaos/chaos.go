@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"math"
+
+	"disttime/internal/core"
+)
+
+// Verdict is the outcome of one campaign.
+type Verdict struct {
+	// OK reports that no invariant was violated.
+	OK bool
+	// Violations lists what the monitor recorded (capped; the first entry
+	// is the earliest violation and drives shrinking).
+	Violations []Violation
+	// Steps is the number of simulator events executed, a cheap
+	// determinism fingerprint: identical campaigns must report identical
+	// step counts.
+	Steps uint64
+}
+
+// First returns the earliest violation, if any.
+func (v Verdict) First() (Violation, bool) {
+	if len(v.Violations) == 0 {
+		return Violation{}, false
+	}
+	return v.Violations[0], true
+}
+
+// Run executes the campaign with the always-on invariant monitor and
+// returns the verdict. Equal campaigns always return equal verdicts.
+func Run(c Campaign) (Verdict, error) { return run(c, nil) }
+
+// RunInjected executes the campaign with fn replacing the campaign's
+// synchronization function on every server. It exists so the harness can
+// test itself: injecting a deliberately broken rule (see BuggyMM) must
+// produce violations, or the monitor is asleep.
+func RunInjected(c Campaign, fn core.SyncFunc) (Verdict, error) { return run(c, fn) }
+
+func run(c Campaign, override core.SyncFunc) (Verdict, error) {
+	if err := c.Validate(); err != nil {
+		return Verdict{}, err
+	}
+	svc, err := c.build(override)
+	if err != nil {
+		return Verdict{}, err
+	}
+	m := newMonitor(svc, c)
+	eng := &engine{svc: svc}
+	if err := eng.install(c); err != nil {
+		return Verdict{}, err
+	}
+	svc.Run(c.Dur)
+	return Verdict{
+		OK:         len(m.violations) == 0,
+		Violations: m.violations,
+		Steps:      svc.Sim.Steps(),
+	}, nil
+}
+
+// BuggyMM is rule MM-2 with the transit-error term deliberately omitted:
+// an adopted reply is charged only its own error E_j, not the
+// (1+delta_i)*xi^i_j the rule requires, so every adoption silently
+// inherits up to one transit delay of unaccounted offset. It is the
+// canonical planted bug for harness self-tests — the containment monitor
+// must catch it within a few rounds even with an empty fault schedule —
+// and the model for writing new planted bugs when extending the corpus.
+type BuggyMM struct{}
+
+// Name reports "MM" so the monitor applies the MM invariants to it.
+func (BuggyMM) Name() string { return "MM" }
+
+// Sync applies the broken rule.
+func (BuggyMM) Sync(s *core.Server, t float64, replies []core.Reply) core.Result {
+	var res core.Result
+	for i, r := range replies {
+		if !s.ConsistentWith(t, r) {
+			res.Inconsistent = append(res.Inconsistent, i)
+			continue
+		}
+		age := math.Max(0, r.Age)
+		c := r.C + age
+		lead := r.E + s.Delta()*age // BUG: no (1+delta)*RTT transit charge
+		if lead <= s.ErrorAt(t) {
+			s.SetClock(t, c, lead)
+			res.Reset = true
+			res.Accepted++
+		}
+	}
+	return res
+}

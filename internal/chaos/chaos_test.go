@@ -1,0 +1,220 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGeneratedCampaignsPass runs a spread of generated campaigns against
+// the real synchronization rules. The theorems say the monitored
+// invariants hold under every schedule the generator can produce, so any
+// failure here is either a real protocol bug or a monitor bug — both
+// worth failing loudly over.
+func TestGeneratedCampaignsPass(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		c := Generate(seed)
+		v, err := Run(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v\ncampaign: %s", seed, err, c)
+		}
+		if !v.OK {
+			first, _ := v.First()
+			t.Errorf("seed %d: %v\ncampaign: %s", seed, first, c)
+		}
+	}
+}
+
+// TestRunDeterministic re-runs the same campaign and demands an identical
+// verdict, step count included. This is the determinism contract shrinking
+// and corpus replay both lean on.
+func TestRunDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		c := Generate(seed)
+		a, err := Run(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Run(c)
+		if err != nil {
+			t.Fatalf("seed %d re-run: %v", seed, err)
+		}
+		if a.Steps != b.Steps || a.OK != b.OK || len(a.Violations) != len(b.Violations) {
+			t.Fatalf("seed %d: verdicts diverge: %+v vs %+v", seed, a, b)
+		}
+		for i := range a.Violations {
+			if a.Violations[i] != b.Violations[i] {
+				t.Fatalf("seed %d: violation %d diverges: %v vs %v",
+					seed, i, a.Violations[i], b.Violations[i])
+			}
+		}
+	}
+}
+
+// TestEncodeRoundTrip checks String∘Parse is the identity on generated
+// campaigns, faults and all.
+func TestEncodeRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		c := Generate(seed)
+		line := c.String()
+		got, err := Parse(line)
+		if err != nil {
+			t.Fatalf("seed %d: Parse(%q): %v", seed, line, err)
+		}
+		if got.String() != line {
+			t.Fatalf("seed %d: round trip changed the line:\n in: %s\nout: %s", seed, line, got.String())
+		}
+	}
+}
+
+// TestParseRejectsMalformed exercises the codec's error paths.
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"v2 seed=1",
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=0 dur=300 sync=30", // missing faults
+		"v1 seed=1 seed=2 n=3 topo=mesh fn=MM rec=0 dur=300 sync=30 faults=-",
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=2 dur=300 sync=30 faults=-",
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=0 dur=300 sync=30 faults=zap:1@50",
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=0 dur=300 sync=30 faults=stop@50",        // missing target
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=0 dur=300 sync=30 faults=loss@50*0.5",    // missing window
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=0 dur=300 sync=30 faults=part@50+60",     // missing groups
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=0 dur=300 sync=30 faults=stop:9@50",      // target out of range
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=0 dur=300 sync=30 faults=crash:1@290+60", // window overruns
+		"v1 seed=1 n=3 topo=bus fn=MM rec=0 dur=300 sync=30 faults=-",
+		"v1 seed=1 n=3 topo=mesh fn=XX rec=0 dur=300 sync=30 faults=-",
+	}
+	for _, line := range bad {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed line", line)
+		}
+	}
+}
+
+// TestHarnessCatchesBuggyMM is the self-test the whole harness exists
+// for: a deliberately broken MM rule (transit-error term dropped) must be
+// caught by the monitor, and shrinking must cut the reproducer down to at
+// most three faults while preserving the violated invariant.
+func TestHarnessCatchesBuggyMM(t *testing.T) {
+	buggy := func(c Campaign) (Verdict, error) { return RunInjected(c, BuggyMM{}) }
+	caught := 0
+	for seed := uint64(1); seed <= 60 && caught < 3; seed++ {
+		c := Generate(seed)
+		if c.FnName != "MM" {
+			continue
+		}
+		v, err := buggy(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v.OK {
+			continue
+		}
+		caught++
+		first, _ := v.First()
+		res, err := Shrink(c, buggy, 0)
+		if err != nil {
+			t.Fatalf("seed %d: shrink: %v", seed, err)
+		}
+		if res.Verdict.OK {
+			t.Fatalf("seed %d: shrink returned a passing campaign", seed)
+		}
+		got, _ := res.Verdict.First()
+		if got.Invariant != first.Invariant {
+			t.Errorf("seed %d: shrink changed the invariant %q -> %q", seed, first.Invariant, got.Invariant)
+		}
+		if len(res.Campaign.Faults) > 3 {
+			t.Errorf("seed %d: shrunk reproducer still has %d faults: %s",
+				seed, len(res.Campaign.Faults), res.Campaign)
+		}
+		if res.Campaign.Dur > c.Dur {
+			t.Errorf("seed %d: shrink grew the duration %g -> %g", seed, c.Dur, res.Campaign.Dur)
+		}
+		// The minimized reproducer must replay to the same verdict.
+		again, err := buggy(res.Campaign)
+		if err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+		if again.Steps != res.Verdict.Steps || again.OK {
+			t.Errorf("seed %d: minimized reproducer does not replay identically", seed)
+		}
+	}
+	if caught == 0 {
+		t.Fatal("no seed produced an MM campaign that BuggyMM fails; the monitor is asleep")
+	}
+}
+
+// TestShrinkKeepsPassingCampaign checks Shrink is the identity on
+// campaigns that do not fail.
+func TestShrinkKeepsPassingCampaign(t *testing.T) {
+	c := Generate(1)
+	res, err := Shrink(c, Run, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdict.OK || res.Runs != 1 || res.Campaign.String() != c.String() {
+		t.Fatalf("Shrink altered a passing campaign: %+v", res)
+	}
+}
+
+// TestCorpusReplays replays every committed reproducer and checks its
+// expectation line. Corpus files carry `# expect: ok` (must pass under
+// the real rules) or `# expect: <invariant>` comments; the remaining
+// non-comment line is the reproducer itself.
+func TestCorpusReplays(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("corpus", "*.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus files found")
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expect, line := "", ""
+		for _, l := range strings.Split(string(data), "\n") {
+			l = strings.TrimSpace(l)
+			switch {
+			case strings.HasPrefix(l, "# expect:"):
+				expect = strings.TrimSpace(strings.TrimPrefix(l, "# expect:"))
+			case l == "" || strings.HasPrefix(l, "#"):
+			default:
+				line = l
+			}
+		}
+		if expect == "" || line == "" {
+			t.Errorf("%s: missing expectation or reproducer line", path)
+			continue
+		}
+		c, err := Parse(line)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		a, err := Run(c)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		b, err := Run(c)
+		if err != nil || a.Steps != b.Steps || a.OK != b.OK {
+			t.Errorf("%s: replay is not deterministic", path)
+		}
+		switch expect {
+		case "ok":
+			if !a.OK {
+				first, _ := a.First()
+				t.Errorf("%s: expected ok, got %v", path, first)
+			}
+		default:
+			first, ok := a.First()
+			if !ok || first.Invariant != expect {
+				t.Errorf("%s: expected first violation %q, got %+v", path, expect, a.Violations)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"fmt"
+
+	"disttime/internal/service"
+	"disttime/internal/simnet"
+)
+
+// engine schedules the dynamic faults of a campaign onto a built service.
+// Clock-failure wrappers are armed at construction time (they carry their
+// own fail-at); everything else — falseticker jumps, loss bursts, delay
+// spikes, partitions, crashes — is a simulator event the engine installs
+// before the run starts, so the whole schedule is part of the
+// deterministic event stream.
+type engine struct {
+	svc     *service.Service
+	windows []Fault // active-window faults (loss bursts, delay spikes)
+}
+
+// install schedules every dynamic fault. It must run before the
+// simulation advances.
+func (e *engine) install(c Campaign) error {
+	for _, f := range c.Faults {
+		f := f
+		switch f.Kind {
+		case Falseticker:
+			// The clock register jumps without the server's bookkeeping
+			// noticing: the server keeps answering with its usual <C, E>
+			// pair, whose interval now lies (the Figure 3 hazard).
+			e.svc.Sim.At(f.At, func() {
+				clk := e.svc.Nodes[f.Target].Server.Clock()
+				clk.Set(f.At, clk.Read(f.At)+f.Param)
+			})
+		case LossBurst, DelaySpike:
+			e.windows = append(e.windows, f)
+			e.svc.Sim.At(f.At, func() { e.rewire(f.At) })
+			e.svc.Sim.At(f.At+f.Dur, func() { e.rewire(f.At + f.Dur) })
+		case Partition:
+			if err := e.svc.PartitionAt(f.At, f.Groups...); err != nil {
+				return fmt.Errorf("chaos: %w", err)
+			}
+			e.svc.HealAt(f.At + f.Dur)
+		case Crash:
+			e.svc.CrashAt(f.At, f.Target)
+			e.svc.RestartAt(f.At+f.Dur, f.Target)
+		case StopClock, RaceClock, StickClock:
+			// Armed inside the clock wrappers at build time.
+		default:
+			return fmt.Errorf("chaos: cannot install fault kind %v", f.Kind)
+		}
+	}
+	return nil
+}
+
+// rewire recomputes the network-wide loss and delay overlays from the
+// windows active at virtual time now and replaces every link's config
+// accordingly. Links() enumerates in deterministic order and Connect
+// replaces in place, so a rewire is itself a deterministic event.
+func (e *engine) rewire(now float64) {
+	lossP, mult := 0.0, 1.0
+	for _, f := range e.windows {
+		if now >= f.At && now < f.At+f.Dur {
+			switch f.Kind {
+			case LossBurst:
+				if f.Param > lossP {
+					lossP = f.Param
+				}
+			case DelaySpike:
+				if f.Param > mult {
+					mult = f.Param
+				}
+			}
+		}
+	}
+	cfg := simnet.LinkConfig{Delay: nominalDelay(), Loss: lossP}
+	if mult > 1 {
+		cfg.Delay = simnet.Scaled{M: nominalDelay(), Factor: mult}
+	}
+	for _, l := range e.svc.Net.Links() {
+		// Connect replaces an existing link's configuration; the nodes and
+		// the link set are unchanged, so the error path is unreachable.
+		if err := e.svc.Net.Connect(l.A, l.B, cfg); err != nil {
+			panic(fmt.Sprintf("chaos: rewire: %v", err))
+		}
+	}
+}

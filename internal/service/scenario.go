@@ -20,6 +20,92 @@ func (svc *Service) OnSync(fn func(node int, t float64, res core.Result)) {
 	svc.onSync = fn
 }
 
+// SyncObservation is the full before/after record of one synchronization
+// pass, captured for invariant monitors: the server's reading immediately
+// before the synchronization function ran and immediately after the pass
+// (including any recovery and adaptation), the number of replies handed to
+// the function, and the reset/recovery counters bracketing the pass. The
+// monitor needs the bracketing values to distinguish "the function reset
+// the clock" (bounded by the theorems) from "recovery adopted a third
+// server" (allowed to grow the error).
+type SyncObservation struct {
+	// Node is the server index; T is the virtual time of the pass.
+	Node int
+	T    float64
+	// Before and After are the server's readings bracketing the pass.
+	Before core.Reading
+	After  core.Reading
+	// Replies is how many replies were handed to the synchronization
+	// function (after any rate filtering).
+	Replies int
+	// ResetsBefore and Resets are the server's clock-reset counter before
+	// and after the pass; Resets > ResetsBefore means the clock was set.
+	ResetsBefore int
+	Resets       int
+	// RecovBefore and Recoveries bracket the Section 3 recovery counter.
+	RecovBefore int
+	Recoveries  int
+	// Res is the synchronization function's result.
+	Res core.Result
+}
+
+// OnSyncDetail registers a detailed observer invoked after every
+// synchronization pass with a full SyncObservation. It is independent of
+// OnSync (both may be installed); a nil observer removes the hook. The
+// chaos harness attaches its invariant monitor here.
+func (svc *Service) OnSyncDetail(fn func(SyncObservation)) {
+	svc.onSyncDetail = fn
+}
+
+// Crash takes server i off the network: it stops answering requests,
+// abandons any in-flight collection, and halts its periodic
+// synchronization. The server's clock keeps running (the hardware
+// oscillator does not care about the host), so rule MM-1's error
+// bookkeeping remains valid across the outage. Crashing a crashed server
+// is a no-op.
+func (svc *Service) Crash(i int) {
+	n := svc.Nodes[i]
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	n.crashSeq = n.reqSeq // rounds up to here die with the crash
+	n.collect = nil
+	if n.stopSync != nil {
+		n.stopSync()
+		n.stopSync = nil
+	}
+	svc.Net.SetHandler(n.NetID, nil)
+}
+
+// Restart brings a crashed server back: it answers requests again and,
+// if its spec synchronizes, resumes periodic rounds one full period from
+// now. Restarting a running server is a no-op.
+func (svc *Service) Restart(i int) {
+	n := svc.Nodes[i]
+	if !n.crashed {
+		return
+	}
+	n.crashed = false
+	svc.Net.SetHandler(n.NetID, n.handle)
+	if period := n.Spec.SyncEvery; period > 0 {
+		n.stopSync = svc.Sim.Every(period, n.startRound)
+	}
+}
+
+// Crashed reports whether server i is currently crashed.
+func (svc *Service) Crashed(i int) bool { return svc.Nodes[i].crashed }
+
+// CrashAt schedules a crash of server i at virtual time t.
+func (svc *Service) CrashAt(t float64, i int) {
+	svc.Sim.At(t, func() { svc.Crash(i) })
+}
+
+// RestartAt schedules a restart of server i at virtual time t.
+func (svc *Service) RestartAt(t float64, i int) {
+	svc.Sim.At(t, func() { svc.Restart(i) })
+}
+
 // PartitionAt schedules a network partition at virtual time t. Each group
 // lists server indices (not network ids); servers absent from every group
 // form one implicit extra group, as in simnet.Partition.

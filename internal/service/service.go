@@ -127,6 +127,8 @@ type Node struct {
 	svc            *Service
 	fn             core.SyncFunc
 	reqSeq         uint64
+	crashed        bool
+	crashSeq       uint64 // rounds started at or before this id died with a crash
 	collect        *collection
 	colFree        []*collection // recycled round state
 	scratch        []core.Reply  // reused sync-pass reply buffer
@@ -169,9 +171,10 @@ type Service struct {
 	Net   *simnet.Network
 	Nodes []*Node
 
-	cfg       Config
-	onSync    func(node int, t float64, res core.Result)
-	replyFree []*timeReply // recycled reply payloads
+	cfg          Config
+	onSync       func(node int, t float64, res core.Result)
+	onSyncDetail func(SyncObservation)
+	replyFree    []*timeReply // recycled reply payloads
 }
 
 type timeRequest struct {
@@ -328,6 +331,9 @@ func (svc *Service) Run(until float64) { svc.Sim.RunUntil(until) }
 
 // handle is a node's network message handler.
 func (n *Node) handle(m simnet.Message) {
+	if n.crashed {
+		return // a crashed server neither answers nor collects
+	}
 	now := n.svc.Sim.Now()
 	switch p := m.Payload.(type) {
 	case timeRequest:
@@ -362,6 +368,9 @@ func (n *Node) handle(m simnet.Message) {
 // startRound broadcasts a time request and schedules the round's
 // completion.
 func (n *Node) startRound() {
+	if n.crashed {
+		return
+	}
 	now := n.svc.Sim.Now()
 	n.reqSeq++
 	var col *collection
@@ -392,6 +401,12 @@ func (n *Node) finishRound(col *collection) {
 	if n.collect == col {
 		n.collect = nil
 	}
+	if n.crashed || col.id <= n.crashSeq {
+		// The server crashed after this round was scheduled (or has not
+		// restarted): the round dies with it.
+		n.colFree = append(n.colFree, col)
+		return
+	}
 	now := n.svc.Sim.Now()
 	nowLocal := n.Server.Read(now)
 	replies := n.scratch[:0]
@@ -406,6 +421,18 @@ func (n *Node) finishRound(col *collection) {
 		replies = n.rateFilter(replies)
 	}
 	n.Syncs++
+	var obs SyncObservation
+	detail := n.svc.onSyncDetail != nil
+	if detail {
+		obs = SyncObservation{
+			Node:         n.Server.ID(),
+			T:            now,
+			Before:       n.Server.Reading(now),
+			Replies:      len(replies),
+			ResetsBefore: n.Server.Resets(),
+			RecovBefore:  n.Recoveries,
+		}
+	}
 	before := nowLocal
 	res := n.fn.Sync(n.Server, now, replies)
 	if res.Reset {
@@ -421,6 +448,13 @@ func (n *Node) finishRound(col *collection) {
 	}
 	if n.Spec.AdaptiveDelta {
 		n.adaptDelta(now)
+	}
+	if detail {
+		obs.After = n.Server.Reading(now)
+		obs.Resets = n.Server.Resets()
+		obs.Recoveries = n.Recoveries
+		obs.Res = res
+		n.svc.onSyncDetail(obs)
 	}
 	if n.svc.onSync != nil {
 		n.svc.onSync(n.Server.ID(), now, res)

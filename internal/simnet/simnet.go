@@ -96,6 +96,25 @@ func (e TruncExp) Sample(rng *rand.Rand) float64 {
 // Bound returns the truncation bound.
 func (e TruncExp) Bound() float64 { return e.Max }
 
+// Scaled multiplies every delay drawn from an inner model by Factor. It is
+// the delay-spike primitive of the chaos harness: scaling a link's delays
+// past the service's assumed round-trip bound xi exercises the paper's
+// "messages may be lost or arbitrarily delayed" failure regime while
+// keeping the inner model's shape.
+type Scaled struct {
+	// M is the inner delay model. Required.
+	M DelayModel
+	// Factor multiplies every sample and the bound. Values below 1
+	// compress delays; values above 1 stretch them.
+	Factor float64
+}
+
+// Sample draws from the inner model and scales it.
+func (s Scaled) Sample(rng *rand.Rand) float64 { return s.M.Sample(rng) * s.Factor }
+
+// Bound returns the scaled inner bound.
+func (s Scaled) Bound() float64 { return s.M.Bound() * s.Factor }
+
 // LinkConfig describes one directionless link.
 type LinkConfig struct {
 	// Delay is the one-way delay model. Required.
@@ -358,6 +377,36 @@ func (n *Network) Heal() {
 	for i := range n.group {
 		n.group[i] = -1
 	}
+}
+
+// Link is one existing link: its two endpoints (A < B) and its current
+// configuration.
+type Link struct {
+	A, B NodeID
+	Cfg  LinkConfig
+}
+
+// Links returns every link in the network in deterministic order
+// (lexicographic by endpoint pair). It is the enumeration hook for fault
+// injectors that rewire the whole network — e.g. a loss burst or delay
+// spike replaces every link's config via Connect — where a stable order
+// keeps runs reproducible.
+func (n *Network) Links() []Link {
+	keys := make([]linkKey, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	out := make([]Link, len(keys))
+	for i, k := range keys {
+		out[i] = Link{A: k.a, B: k.b, Cfg: n.links[k]}
+	}
+	return out
 }
 
 // MaxOneWayDelay returns the largest delay bound over all links. The
