@@ -9,7 +9,7 @@ GO ?= go
 # but omitted from the other.
 RACE_PKGS = ./internal/par ./internal/sim ./internal/experiments \
             ./internal/service ./internal/simnet ./internal/interval \
-            ./internal/chaos ./internal/udptime ./cmd/...
+            ./internal/chaos ./internal/udptime ./internal/obs ./cmd/...
 
 # Packages whose line coverage is floored by `make cover-check` (and so by
 # `make check`): the theorem algebra and the interval sweep are the proof
@@ -17,7 +17,7 @@ RACE_PKGS = ./internal/par ./internal/sim ./internal/experiments \
 COVER_FLOOR_PKGS = ./internal/core ./internal/interval
 COVER_FLOOR     ?= 85
 
-.PHONY: all build vet lint test check test-race cover cover-check chaos fuzz-smoke bench experiments ablations examples clean
+.PHONY: all build vet lint test check test-race cover cover-check chaos obs-smoke fuzz-smoke bench experiments ablations examples clean
 
 all: build vet lint test
 
@@ -39,10 +39,11 @@ test:
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 
-# check = vet + lint + test + race + coverage floor: the tier-1 tests,
-# the lint gate, and the proof-core coverage floor travel together (race
-# rides inside `test` via RACE_PKGS).
-check: vet lint test cover-check
+# check = vet + lint + test + race + coverage floor + obs smoke: the
+# tier-1 tests, the lint gate, the proof-core coverage floor, and the
+# observability determinism smoke travel together (race rides inside
+# `test` via RACE_PKGS).
+check: vet lint test cover-check obs-smoke
 
 test-race:
 	$(GO) test -race $(RACE_PKGS)
@@ -69,6 +70,18 @@ cover-check:
 # ones under internal/chaos/corpus/. See DESIGN.md §11.
 chaos:
 	$(GO) run ./cmd/timesim -chaos -campaigns 60 -chaos-seed 1
+
+# Observability smoke: the obs package under -race, then two seeded
+# `timesim -metrics -trace-out` runs diffed byte-for-byte — the
+# determinism contract of DESIGN.md §12 (sorted snapshot keys, shortest
+# round-trip floats, passive observation).
+obs-smoke:
+	$(GO) test -race ./internal/obs
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/timesim -metrics $$tmp/m1.json -trace-out $$tmp/t1.jsonl > /dev/null && \
+	$(GO) run ./cmd/timesim -metrics $$tmp/m2.json -trace-out $$tmp/t2.jsonl > /dev/null && \
+	cmp $$tmp/m1.json $$tmp/m2.json && cmp $$tmp/t1.jsonl $$tmp/t2.jsonl && \
+	rm -rf $$tmp && echo "obs-smoke: seeded snapshots and span logs byte-identical"
 
 # Short coverage-guided fuzz pass over the M-of-N interval sweep (vs the
 # naive oracle). CI-sized; run with a larger -fuzztime when hunting.

@@ -37,6 +37,8 @@ func run(args []string) error {
 			"error the local clock is trusted to at startup")
 		driftPPM = fs.Float64("drift-ppm", 50,
 			"claimed drift bound of the local clock, parts per million")
+		health = fs.String("health", "",
+			"HTTP health listener address (e.g. 127.0.0.1:9123): /healthz, Prometheus /metrics, and pprof")
 		verbose = fs.Bool("v", false, "log malformed datagrams")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -51,12 +53,18 @@ func run(args []string) error {
 	if *verbose {
 		opts = append(opts, udptime.WithServerLogger(log.New(os.Stderr, "", log.LstdFlags)))
 	}
+	if *health != "" {
+		opts = append(opts, udptime.WithHealthListener(*health))
+	}
 	srv, err := udptime.NewServer(*addr, *id, src, opts...)
 	if err != nil {
 		return err
 	}
 	log.Printf("timeserver %d listening on %v (initial error %v, drift bound %v ppm)",
 		*id, srv.Addr(), *initialErr, *driftPPM)
+	if ha := srv.HealthAddr(); ha != nil {
+		log.Printf("health listener on http://%v (/healthz, /metrics, /debug/pprof/)", ha)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

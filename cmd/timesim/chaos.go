@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"disttime/internal/chaos"
+	"disttime/internal/obs"
 )
 
 // chaosOpts carries the chaos-mode flags.
@@ -15,6 +16,7 @@ type chaosOpts struct {
 	seed      uint64
 	replay    string
 	shrink    bool
+	metrics   string // when set, campaigns run observed and a snapshot is written here
 }
 
 // runChaos executes a batch of generated campaigns (or replays one
@@ -30,11 +32,23 @@ func runChaos(opts chaosOpts, out io.Writer) error {
 	if opts.campaigns <= 0 {
 		return fmt.Errorf("chaos: -campaigns must be positive, got %d", opts.campaigns)
 	}
+	// With -metrics, every campaign feeds one shared registry; observation
+	// is passive, so verdicts and step counts match an unobserved batch.
+	var reg *obs.Registry
+	if opts.metrics != "" {
+		reg = obs.NewRegistry()
+	}
+	runOne := func(c chaos.Campaign) (chaos.Verdict, error) {
+		if reg != nil {
+			return chaos.RunObserved(c, reg)
+		}
+		return chaos.Run(c)
+	}
 	failed := 0
 	for i := 0; i < opts.campaigns; i++ {
 		seed := opts.seed + uint64(i)
 		c := chaos.Generate(seed)
-		v, err := chaos.Run(c)
+		v, err := runOne(c)
 		if err != nil {
 			return fmt.Errorf("chaos: seed %d: %w", seed, err)
 		}
@@ -58,6 +72,9 @@ func runChaos(opts chaosOpts, out io.Writer) error {
 		} else {
 			fmt.Fprintf(out, "  reproducer: %s\n", c)
 		}
+	}
+	if err := writeMetrics(opts.metrics, reg); err != nil {
+		return err
 	}
 	if failed > 0 {
 		return fmt.Errorf("chaos: %d of %d campaigns violated an invariant", failed, opts.campaigns)

@@ -12,6 +12,8 @@
 //	timesim -ablations -parallel 4  # identical output, 4 workers
 //	timesim -chaos -campaigns 60 -chaos-seed 1
 //	timesim -chaos -replay internal/chaos/corpus/buggy-mm-containment.repro
+//	timesim -metrics out.json -trace-out spans.jsonl   # instrumented demo run
+//	timesim -chaos -campaigns 60 -metrics chaos.json   # observed campaigns
 //
 // Each experiment prints the paper's claim, the measured finding, and the
 // regenerated table. The exit status is nonzero when a reproduced shape
@@ -53,6 +55,10 @@ func run(args []string, out io.Writer) error {
 		chaosSeed = fs.Uint64("chaos-seed", 1, "first campaign seed (with -chaos; campaigns use consecutive seeds)")
 		replay    = fs.String("replay", "", "replay a chaos reproducer: a literal line or a corpus file path (with -chaos)")
 		noShrink  = fs.Bool("no-shrink", false, "report failing chaos campaigns without minimizing them")
+		metrics   = fs.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this path; alone it runs the instrumented demo scenario, with -chaos it observes the campaigns")
+		traceOut  = fs.String("trace-out", "", "write sync-round spans (JSONL) to this path; runs the instrumented demo scenario")
+		obsSeed   = fs.Uint64("obs-seed", 1, "seed for the instrumented demo scenario (with -metrics/-trace-out)")
+		obsDur    = fs.Float64("obs-dur", 600, "virtual duration in seconds of the instrumented demo scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +76,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	obs := obsOpts{metrics: *metrics, traceOut: *traceOut, seed: *obsSeed, dur: *obsDur}
+
 	switch {
 	case *doChaos:
 		return runChaos(chaosOpts{
@@ -77,6 +85,7 @@ func run(args []string, out io.Writer) error {
 			seed:      *chaosSeed,
 			replay:    *replay,
 			shrink:    !*noShrink,
+			metrics:   *metrics,
 		}, out)
 	case *figures:
 		_, err := fmt.Fprintln(out, experiments.Figures())
@@ -107,6 +116,8 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s (%s): %w", e.ID, e.Source, err)
 		}
 		return emit(tbl)
+	case obs.active():
+		return runObserved(obs, out)
 	default:
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -list, -all, -ablations, -figures, -experiment, or -chaos")

@@ -7,6 +7,7 @@ import (
 	"disttime/internal/core"
 	"disttime/internal/interval"
 	"disttime/internal/ntp"
+	"disttime/internal/obs"
 	"disttime/internal/service"
 	"disttime/internal/simnet"
 	"disttime/internal/trace"
@@ -224,6 +225,16 @@ type (
 	Peer = udptime.Peer
 	// PeerConfig configures a Peer.
 	PeerConfig = udptime.PeerConfig
+	// SyncOptions carries the IM-2 transform parameters (the local drift
+	// charge) a client applies to its measurements.
+	SyncOptions = udptime.SyncOptions
+	// UDPServerOption configures a UDPServer.
+	UDPServerOption = udptime.ServerOption
+	// UDPClientOption configures a UDPClient.
+	UDPClientOption = udptime.ClientOption
+	// MetricsRegistry is the process-wide metrics registry (counters,
+	// gauges, histograms) shared by servers, clients, and syncers.
+	MetricsRegistry = obs.Registry
 )
 
 // UDP service constructors and synchronizers.
@@ -244,6 +255,18 @@ var (
 	NewSyncer = udptime.NewSyncer
 	// NewPeer starts a full peer (server plus syncer).
 	NewPeer = udptime.NewPeer
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// WithHealthListener serves /healthz, Prometheus /metrics, and pprof
+	// over HTTP alongside a UDP time server.
+	WithHealthListener = udptime.WithHealthListener
+	// WithServerObservability resolves a server's counters in a registry.
+	WithServerObservability = udptime.WithServerObservability
+	// WithClientObservability resolves a client's query counters and RTT
+	// histogram in a registry.
+	WithClientObservability = udptime.WithClientObservability
+	// WithSyncOptions sets a client's IM-2 transform parameters.
+	WithSyncOptions = udptime.WithSyncOptions
 )
 
 // Simulation tracing (internal/trace).

@@ -1,12 +1,18 @@
 // Udpservice: the real-network path. Three honest UDP time servers and
 // one falseticker run on loopback; a client measures all four, rejects
 // the falseticker with majority selection (Marzullo's algorithm), and
-// disciplines a local software clock with the intersection.
+// disciplines a local software clock with the intersection. The whole
+// exchange is observed: servers and client share one metrics registry,
+// the first server exposes it (with /healthz and pprof) on an HTTP
+// health listener, and the program prints the Prometheus exposition.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"strings"
 	"time"
 
 	"disttime"
@@ -30,19 +36,31 @@ func main() {
 }
 
 func run() error {
-	// Three honest servers reading the OS clock...
+	// One registry observes the whole process: servers and client.
+	reg := disttime.NewMetricsRegistry()
+
+	// Three honest servers reading the OS clock; the first also serves
+	// /healthz, /metrics, and pprof on an HTTP health listener.
 	honest, err := disttime.NewSystemClock(5*time.Millisecond, 100)
 	if err != nil {
 		return err
 	}
 	var addrs []string
+	var healthURL string
 	for i := 1; i <= 3; i++ {
-		srv, err := disttime.NewUDPServer("127.0.0.1:0", uint64(i), honest)
+		opts := []disttime.UDPServerOption{disttime.WithServerObservability(reg)}
+		if i == 1 {
+			opts = append(opts, disttime.WithHealthListener("127.0.0.1:0"))
+		}
+		srv, err := disttime.NewUDPServer("127.0.0.1:0", uint64(i), honest, opts...)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		addrs = append(addrs, srv.Addr().String())
+		if ha := srv.HealthAddr(); ha != nil {
+			healthURL = "http://" + ha.String()
+		}
 	}
 	// ...and one falseticker, 90 seconds in the future with a tiny
 	// claimed error (the dangerous kind).
@@ -60,7 +78,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	client := disttime.NewUDPClient(2*time.Second, dc)
+	client := disttime.NewUDPClient(2*time.Second, dc,
+		disttime.WithSyncOptions(disttime.SyncOptions{Delta: 100e-6}),
+		disttime.WithClientObservability(reg))
 
 	ms, err := client.QueryMany(addrs)
 	if err != nil {
@@ -91,5 +111,23 @@ func run() error {
 		now.Format(time.RFC3339Nano), maxErr, synced)
 	fmt.Printf("offset from OS clock: %v (the falseticker wanted +90s)\n",
 		now.Sub(time.Now()).Round(time.Microsecond))
+
+	// The health listener serves the shared registry as Prometheus text
+	// (and /healthz and pprof beside it).
+	resp, err := http.Get(healthURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmetrics from %s/metrics (histogram buckets elided):\n", healthURL)
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "udptime_") && !strings.Contains(line, "_bucket{") {
+			fmt.Println("  " + line)
+		}
+	}
 	return nil
 }

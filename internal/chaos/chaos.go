@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"disttime/internal/core"
+	"disttime/internal/obs"
 )
 
 // Verdict is the outcome of one campaign.
@@ -29,15 +30,23 @@ func (v Verdict) First() (Violation, bool) {
 
 // Run executes the campaign with the always-on invariant monitor and
 // returns the verdict. Equal campaigns always return equal verdicts.
-func Run(c Campaign) (Verdict, error) { return run(c, nil) }
+func Run(c Campaign) (Verdict, error) { return run(c, nil, nil) }
+
+// RunObserved executes the campaign like Run while feeding the
+// observability registry: per-campaign invariant-check and
+// fault-activation counters, plus the service, simulator, and network
+// metrics of an observed run. Observation is passive — RunObserved
+// returns exactly the verdict (including the Steps determinism
+// fingerprint) that Run would.
+func RunObserved(c Campaign, reg *obs.Registry) (Verdict, error) { return run(c, nil, reg) }
 
 // RunInjected executes the campaign with fn replacing the campaign's
 // synchronization function on every server. It exists so the harness can
 // test itself: injecting a deliberately broken rule (see BuggyMM) must
 // produce violations, or the monitor is asleep.
-func RunInjected(c Campaign, fn core.SyncFunc) (Verdict, error) { return run(c, fn) }
+func RunInjected(c Campaign, fn core.SyncFunc) (Verdict, error) { return run(c, fn, nil) }
 
-func run(c Campaign, override core.SyncFunc) (Verdict, error) {
+func run(c Campaign, override core.SyncFunc, reg *obs.Registry) (Verdict, error) {
 	if err := c.Validate(); err != nil {
 		return Verdict{}, err
 	}
@@ -45,17 +54,26 @@ func run(c Campaign, override core.SyncFunc) (Verdict, error) {
 	if err != nil {
 		return Verdict{}, err
 	}
-	m := newMonitor(svc, c)
-	eng := &engine{svc: svc}
+	sink := newObsSink(reg)
+	sink.campaigns.Inc()
+	if reg != nil {
+		svc.Observe(reg, nil)
+	}
+	m := newMonitor(svc, c, sink)
+	eng := &engine{svc: svc, sink: sink}
 	if err := eng.install(c); err != nil {
 		return Verdict{}, err
 	}
 	svc.Run(c.Dur)
-	return Verdict{
+	v := Verdict{
 		OK:         len(m.violations) == 0,
 		Violations: m.violations,
 		Steps:      svc.Sim.Steps(),
-	}, nil
+	}
+	if !v.OK {
+		sink.failed.Inc()
+	}
+	return v, nil
 }
 
 // BuggyMM is rule MM-2 with the transit-error term deliberately omitted:

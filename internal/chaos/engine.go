@@ -13,39 +13,71 @@ import (
 // spikes, partitions, crashes — is a simulator event the engine installs
 // before the run starts, so the whole schedule is part of the
 // deterministic event stream.
+//
+// The engine also feeds the fault-activation counters of an attached
+// observability sink. Counting happens inside the events the schedule
+// already contains — no extra events — so an observed campaign executes
+// the same deterministic trajectory as an unobserved one.
 type engine struct {
 	svc     *service.Service
+	sink    *obsSink
 	windows []Fault // active-window faults (loss bursts, delay spikes)
 }
 
 // install schedules every dynamic fault. It must run before the
 // simulation advances.
 func (e *engine) install(c Campaign) error {
+	if e.sink == nil {
+		e.sink = &obsSink{}
+	}
 	for _, f := range c.Faults {
 		f := f
+		e.sink.faultsInstalled.Inc()
 		switch f.Kind {
 		case Falseticker:
 			// The clock register jumps without the server's bookkeeping
 			// noticing: the server keeps answering with its usual <C, E>
 			// pair, whose interval now lies (the Figure 3 hazard).
 			e.svc.Sim.At(f.At, func() {
+				e.sink.activated(Falseticker)
 				clk := e.svc.Nodes[f.Target].Server.Clock()
 				clk.Set(f.At, clk.Read(f.At)+f.Param)
 			})
 		case LossBurst, DelaySpike:
+			kind := f.Kind
 			e.windows = append(e.windows, f)
-			e.svc.Sim.At(f.At, func() { e.rewire(f.At) })
+			e.svc.Sim.At(f.At, func() {
+				e.sink.activated(kind)
+				e.rewire(f.At)
+			})
 			e.svc.Sim.At(f.At+f.Dur, func() { e.rewire(f.At + f.Dur) })
 		case Partition:
-			if err := e.svc.PartitionAt(f.At, f.Groups...); err != nil {
-				return fmt.Errorf("chaos: %w", err)
+			// Same two events PartitionAt+HealAt would schedule, inlined
+			// so the onset also counts as an activation.
+			netGroups := make([][]simnet.NodeID, len(f.Groups))
+			for g, members := range f.Groups {
+				for _, idx := range members {
+					if idx < 0 || idx >= len(e.svc.Nodes) {
+						return fmt.Errorf("chaos: partition group %d: no server %d", g, idx)
+					}
+					netGroups[g] = append(netGroups[g], e.svc.Nodes[idx].NetID)
+				}
 			}
-			e.svc.HealAt(f.At + f.Dur)
+			e.svc.Sim.At(f.At, func() {
+				e.sink.activated(Partition)
+				e.svc.Net.Partition(netGroups...)
+			})
+			e.svc.Sim.At(f.At+f.Dur, func() { e.svc.Net.Heal() })
 		case Crash:
-			e.svc.CrashAt(f.At, f.Target)
-			e.svc.RestartAt(f.At+f.Dur, f.Target)
+			e.svc.Sim.At(f.At, func() {
+				e.sink.activated(Crash)
+				e.svc.Crash(f.Target)
+			})
+			e.svc.Sim.At(f.At+f.Dur, func() { e.svc.Restart(f.Target) })
 		case StopClock, RaceClock, StickClock:
-			// Armed inside the clock wrappers at build time.
+			// Armed inside the clock wrappers at build time; counted as
+			// armed here (the wrapper fires without a simulator event).
+			e.sink.clockFaultsArm.Inc()
 		default:
 			return fmt.Errorf("chaos: cannot install fault kind %v", f.Kind)
 		}

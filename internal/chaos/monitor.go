@@ -61,6 +61,15 @@ type Monitor struct {
 
 	violations []Violation
 	maxRecord  int
+	sink       *obsSink
+}
+
+// check counts one evaluated invariant assertion in the attached sink
+// (inert without a registry) and returns true so it can gate the
+// assertion expression inline.
+func (m *Monitor) check() bool {
+	m.sink.invariantChecks.Inc()
+	return true
 }
 
 // passState is the per-server after-image of the last synchronization
@@ -71,11 +80,17 @@ type passState struct {
 	resets int
 }
 
-// newMonitor attaches a monitor to a freshly built, un-run service.
-func newMonitor(svc *service.Service, c Campaign) *Monitor {
+// newMonitor attaches a monitor to a freshly built, un-run service. The
+// sink receives invariant-check and violation counters; pass an inert
+// sink (or nil registry behind it) to run unobserved.
+func newMonitor(svc *service.Service, c Campaign, sink *obsSink) *Monitor {
+	if sink == nil {
+		sink = &obsSink{}
+	}
 	n := len(svc.Nodes)
 	m := &Monitor{
 		svc:          svc,
+		sink:         sink,
 		fnName:       c.FnName,
 		tol:          1e-6,
 		clockFaultAt: make([]float64, n),
@@ -109,6 +124,7 @@ func (m *Monitor) Violations() []Violation { return m.violations }
 // report records a violation, capped so a broken invariant in a long
 // campaign cannot flood memory.
 func (m *Monitor) report(t float64, node int, invariant, detail string) {
+	m.sink.violations.Inc()
 	if len(m.violations) >= m.maxRecord {
 		return
 	}
@@ -155,13 +171,13 @@ func (m *Monitor) observe(obs service.SyncObservation) {
 	// pass that recovered is exempt. The bound holds even for faulted
 	// clocks: the predicate compares against the server's own current
 	// error, whatever the oscillator is doing.
-	if m.fnName == "MM" && obs.Recoveries == obs.RecovBefore && obs.After.E > obs.Before.E+m.tol {
+	if m.fnName == "MM" && obs.Recoveries == obs.RecovBefore && m.check() && obs.After.E > obs.Before.E+m.tol {
 		m.report(t, node, "mm-monotonic",
 			fmt.Sprintf("MM pass grew max error %.9g -> %.9g", obs.Before.E, obs.After.E))
 	}
 	// Rule MM-1's deterioration bound: between passes (no resets in
 	// between) the error grows by at most delta per clock second.
-	if st := m.last[node]; st.valid && !m.tainted[node] && obs.ResetsBefore == st.resets {
+	if st := m.last[node]; st.valid && !m.tainted[node] && obs.ResetsBefore == st.resets && m.check() {
 		allowed := srv.Delta() * math.Max(0, obs.Before.C-st.c)
 		if obs.Before.E > st.e+allowed+m.tol {
 			m.report(t, node, "error-growth",
@@ -171,12 +187,12 @@ func (m *Monitor) observe(obs service.SyncObservation) {
 	}
 	// Rules IM-1/IM-2: an intersection pass with replies either resets
 	// (non-empty intersection) or flags inconsistency.
-	if m.fnName != "MM" && obs.Replies > 0 && !obs.Res.Reset && len(obs.Res.Inconsistent) == 0 {
+	if m.fnName != "MM" && obs.Replies > 0 && m.check() && !obs.Res.Reset && len(obs.Res.Inconsistent) == 0 {
 		m.report(t, node, "im-decide",
 			fmt.Sprintf("%d replies produced neither a reset nor an inconsistency flag", obs.Replies))
 	}
 	// Theorems 1/5: a correct server's interval contains true time.
-	if !m.tainted[node] && !srv.Interval(t).Grow(m.tol).Contains(t) {
+	if !m.tainted[node] && m.check() && !srv.Interval(t).Grow(m.tol).Contains(t) {
 		iv := srv.Interval(t)
 		m.report(t, node, "containment",
 			fmt.Sprintf("interval %v excludes true time %.6g (off by %.3g)", iv, t, offBy(iv, t)))
@@ -194,7 +210,7 @@ func (m *Monitor) probe() {
 		// chaotically the underlying clock is reset, frozen, or raced —
 		// never steps backward. Asserted for every server, faulty or not.
 		v := m.mono[i].Read(t)
-		if m.haveMono[i] && v < m.lastMono[i] {
+		if m.haveMono[i] && m.check() && v < m.lastMono[i] {
 			m.report(t, i, "monotonic-clock",
 				fmt.Sprintf("monotonic view stepped back %.9g -> %.9g", m.lastMono[i], v))
 		}
@@ -203,7 +219,7 @@ func (m *Monitor) probe() {
 			continue
 		}
 		iv := node.Server.Interval(t).Grow(m.tol)
-		if !iv.Contains(t) {
+		if m.check() && !iv.Contains(t) {
 			m.report(t, i, "containment",
 				fmt.Sprintf("interval %v excludes true time %.6g (off by %.3g)",
 					node.Server.Interval(t), t, offBy(node.Server.Interval(t), t)))
@@ -213,7 +229,7 @@ func (m *Monitor) probe() {
 	m.ivsScratch = ivs
 	// Rule IM-1's premise: the correct servers' intervals always admit a
 	// common point (each contains true time, so all must overlap).
-	if len(ivs) > 1 {
+	if len(ivs) > 1 && m.check() {
 		if _, ok := interval.IntersectAll(ivs); !ok {
 			m.report(t, -1, "consistency", "untainted servers' intervals share no common point")
 		}

@@ -128,6 +128,9 @@ func DefaultConfig() *Config {
 			// Chaos verdicts, reproducer lines, and shrink results are
 			// determinism contracts (equal campaigns => equal bytes).
 			"disttime/internal/chaos",
+			// Metrics snapshots and span logs are byte-deterministic
+			// under fixed seeds (sorted enumeration is the mechanism).
+			"disttime/internal/obs",
 			"disttime/cmd",
 			// Fixtures exercising the analyzer itself.
 			"disttime/internal/lint/testdata",

@@ -1,0 +1,214 @@
+// Package obs is the repository's dependency-free observability layer:
+// a metrics registry (counters, gauges, fixed-bucket and HDR-style
+// log-bucket histograms) plus structured synchronization-round spans.
+//
+// The paper's evaluation (Section 4, Figures 5-7) is entirely empirical:
+// distributions of error bounds, adjustment magnitudes, and round
+// outcomes measured across a running service. This package is how the
+// reproduction produces those measurements first-class — the simulator,
+// the chaos harness, and the real UDP path all report through the same
+// registry, and a seeded simulated run serializes to byte-identical
+// snapshots and span logs every time.
+//
+// Two disciplines govern the design:
+//
+//   - Hot-path updates are allocation-free (PR 1's rule). Metric handles
+//     are resolved once at wiring time; Inc/Add/Set/Observe touch only
+//     atomics on preallocated arrays. No map lookups, no boxing, no
+//     closures per event.
+//
+//   - Snapshots are deterministic. Metric enumeration is sorted by name,
+//     bucket enumeration by index, floats render through strconv's
+//     shortest round-trip form — so under a fixed seed two runs emit
+//     identical bytes (the mapiter lint analyzer enforces the sorted-keys
+//     idiom in this package).
+//
+// Updates are race-clean: every mutation is a single atomic operation,
+// so concurrent real-network callers (the UDP client and server) share a
+// registry safely. The float64 sums kept by histograms are CAS loops;
+// under concurrency their accumulation order — and hence the exact sum —
+// is scheduling-dependent, which is fine for the real-network path and
+// irrelevant for the single-threaded simulator, where determinism is the
+// contract.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry holds named metrics. Metrics are created on first use and
+// live for the registry's lifetime; handles returned by the getters are
+// stable and safe to cache (the intended hot-path idiom). All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	logs     map[string]*LogHistogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		logs:     make(map[string]*LogHistogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it with
+// the given bucket upper bounds if needed. The bounds must be strictly
+// increasing; an existing histogram's bounds win (the argument is then
+// ignored), matching Prometheus client semantics for repeated
+// registration.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// LogHistogram returns the named HDR-style log-bucket histogram,
+// creating it if needed.
+func (r *Registry) LogHistogram(name string) *LogHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.logs[name]
+	if h == nil {
+		h = newLogHistogram()
+		r.logs[name] = h
+	}
+	return h
+}
+
+// counterNames returns the registered counter names, sorted.
+func (r *Registry) counterNames() []string {
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// gaugeNames returns the registered gauge names, sorted.
+func (r *Registry) gaugeNames() []string {
+	names := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// histNames returns the registered fixed-histogram names, sorted.
+func (r *Registry) histNames() []string {
+	names := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// logNames returns the registered log-histogram names, sorted.
+func (r *Registry) logNames() []string {
+	names := make([]string, 0, len(r.logs))
+	for name := range r.logs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// validateBounds panics on non-increasing histogram bounds; histograms
+// are wired at startup, so a bad boundary list is a programming error,
+// not a runtime condition.
+func validateBounds(bounds []float64) {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d: %v", i, bounds))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"math"
+
+	"disttime/internal/obs"
+)
+
+// This file wires the observability layer through the service: every
+// synchronization pass emits a sync-round span through the existing
+// OnSyncDetail seam and bumps the round counters and error-bound
+// histograms the paper's Section 4 evaluation reports distributions of.
+// Attaching observation never changes what the service does — the hook
+// reads the pass observation the service already produces and schedules
+// no simulator events, so an observed run and an unobserved run execute
+// the same trajectory (same Steps count, same clocks).
+
+// ruleName translates a synchronization function's name into the
+// paper's rule numbering for spans and traces.
+func ruleName(fn string) string {
+	switch fn {
+	case "MM":
+		return "MM-2"
+	case "IM":
+		return "IM-2"
+	default:
+		return fn
+	}
+}
+
+// syncMetrics holds the resolved metric handles for the per-pass sink,
+// so the hook performs no registry lookups (allocation-free hot path).
+type syncMetrics struct {
+	rounds     *obs.Counter
+	resets     *obs.Counter
+	recoveries *obs.Counter
+	replies    *obs.Counter
+	rejected   *obs.Counter
+	errBefore  *obs.LogHistogram
+	errAfter   *obs.LogHistogram
+	adjust     *obs.LogHistogram
+}
+
+// Observe attaches the registry and tracer to the service: counters and
+// histograms for every synchronization pass, plus one SyncSpan per pass
+// through tr (nil disables tracing; nil reg disables metrics). It chains
+// after any observer already installed on the OnSyncDetail seam, and
+// also wires the simulator's event counters and the network's traffic
+// counters and delay histogram into reg.
+func (svc *Service) Observe(reg *obs.Registry, tr *obs.Tracer) {
+	var m syncMetrics
+	if reg != nil {
+		m = syncMetrics{
+			rounds:     reg.Counter("service_sync_rounds_total"),
+			resets:     reg.Counter("service_resets_total"),
+			recoveries: reg.Counter("service_recoveries_total"),
+			replies:    reg.Counter("service_replies_total"),
+			rejected:   reg.Counter("service_rejected_replies_total"),
+			errBefore:  reg.LogHistogram("service_error_before_seconds"),
+			errAfter:   reg.LogHistogram("service_error_after_seconds"),
+			adjust:     reg.LogHistogram("service_adjustment_seconds"),
+		}
+		svc.Sim.Observe(reg)
+		svc.Net.Observe(reg)
+	}
+	if reg == nil && tr == nil {
+		return
+	}
+	svc.AddSyncDetail(func(o SyncObservation) {
+		m.rounds.Inc()
+		m.replies.Add(uint64(o.Replies))
+		m.rejected.Add(uint64(len(o.Res.Inconsistent)))
+		if o.Resets > o.ResetsBefore {
+			m.resets.Add(uint64(o.Resets - o.ResetsBefore))
+		}
+		recovered := o.Recoveries > o.RecovBefore
+		if recovered {
+			m.recoveries.Add(uint64(o.Recoveries - o.RecovBefore))
+		}
+		m.errBefore.Observe(o.Before.E)
+		m.errAfter.Observe(o.After.E)
+		m.adjust.Observe(math.Abs(o.After.C - o.Before.C))
+		tr.Emit(obs.SyncSpan{
+			T:         o.T,
+			Node:      o.Node,
+			Rule:      o.Rule,
+			Replies:   o.Replies,
+			Accepted:  o.Res.Accepted,
+			Rejected:  o.Res.Inconsistent,
+			Reset:     o.Res.Reset,
+			Recovered: recovered,
+			BeforeC:   o.Before.C,
+			BeforeE:   o.Before.E,
+			AfterC:    o.After.C,
+			AfterE:    o.After.E,
+		})
+	})
+}

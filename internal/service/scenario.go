@@ -32,6 +32,10 @@ type SyncObservation struct {
 	// Node is the server index; T is the virtual time of the pass.
 	Node int
 	T    float64
+	// Rule names the synchronization rule that ran, in the paper's
+	// numbering: "MM-2" for algorithm MM, "IM-2" for algorithm IM, or
+	// the synchronization function's own name for other baselines.
+	Rule string
 	// Before and After are the server's readings bracketing the pass.
 	Before core.Reading
 	After  core.Reading
@@ -51,10 +55,27 @@ type SyncObservation struct {
 
 // OnSyncDetail registers a detailed observer invoked after every
 // synchronization pass with a full SyncObservation. It is independent of
-// OnSync (both may be installed); a nil observer removes the hook. The
-// chaos harness attaches its invariant monitor here.
+// OnSync (both may be installed); a nil observer removes the hook (and
+// any observers chained after it with AddSyncDetail). The chaos harness
+// attaches its invariant monitor here.
 func (svc *Service) OnSyncDetail(fn func(SyncObservation)) {
 	svc.onSyncDetail = fn
+}
+
+// AddSyncDetail chains fn after any currently installed detailed
+// observer, so independent consumers — an invariant monitor and a
+// metrics sink, say — can share the OnSyncDetail seam. Observers run in
+// installation order.
+func (svc *Service) AddSyncDetail(fn func(SyncObservation)) {
+	prev := svc.onSyncDetail
+	if prev == nil {
+		svc.onSyncDetail = fn
+		return
+	}
+	svc.onSyncDetail = func(o SyncObservation) {
+		prev(o)
+		fn(o)
+	}
 }
 
 // Crash takes server i off the network: it stops answering requests,

@@ -427,6 +427,7 @@ func (n *Node) finishRound(col *collection) {
 		obs = SyncObservation{
 			Node:         n.Server.ID(),
 			T:            now,
+			Rule:         ruleName(n.fn.Name()),
 			Before:       n.Server.Reading(now),
 			Replies:      len(replies),
 			ResetsBefore: n.Server.Resets(),

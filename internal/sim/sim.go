@@ -23,6 +23,8 @@ package sim
 import (
 	"fmt"
 	"math/rand/v2"
+
+	"disttime/internal/obs"
 )
 
 // Event is a scheduled callback. Cancel prevents a pending event from
@@ -57,6 +59,22 @@ type Simulator struct {
 	pcg   *rand.PCG // rng's source, kept for allocation-free reseeding
 	seq   uint64
 	steps uint64
+
+	// Optional observability handles (nil until Observe). Counter
+	// methods are nil-safe, so the hot paths bump them unconditionally.
+	obsScheduled *obs.Counter
+	obsExecuted  *obs.Counter
+	obsCancelled *obs.Counter
+}
+
+// Observe registers the simulator's event counters in reg: events
+// scheduled, executed, and cancelled-before-firing. Attaching a registry
+// does not perturb the simulation — counters are bumped from the
+// existing code paths, no events are added, and the PRNG is untouched.
+func (s *Simulator) Observe(reg *obs.Registry) {
+	s.obsScheduled = reg.Counter("sim_events_scheduled_total")
+	s.obsExecuted = reg.Counter("sim_events_executed_total")
+	s.obsCancelled = reg.Counter("sim_events_cancelled_total")
 }
 
 // New returns a simulator at virtual time zero whose PRNG is seeded with
@@ -127,6 +145,7 @@ func (s *Simulator) schedule(at float64, fn func(), call func(any), arg any) *Ev
 	e.arg = arg
 	s.seq++
 	s.push(e)
+	s.obsScheduled.Inc()
 	return e
 }
 
@@ -188,11 +207,13 @@ func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
 		e := s.pop()
 		if e.cancelled {
+			s.obsCancelled.Inc()
 			s.release(e)
 			continue
 		}
 		s.now = e.at
 		s.steps++
+		s.obsExecuted.Inc()
 		if e.fn != nil {
 			e.fn()
 		} else {
@@ -245,6 +266,7 @@ func (s *Simulator) Pending() int {
 func (s *Simulator) peek() *Event {
 	for len(s.queue) > 0 {
 		if e := s.queue[0]; e.cancelled {
+			s.obsCancelled.Inc()
 			s.release(s.pop())
 			continue
 		}

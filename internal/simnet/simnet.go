@@ -17,6 +17,7 @@ import (
 	"math/rand/v2"
 	"sort"
 
+	"disttime/internal/obs"
 	"disttime/internal/sim"
 )
 
@@ -168,6 +169,29 @@ type Network struct {
 
 	// Stats counts traffic for experiment reporting.
 	Stats Stats
+
+	// Optional observability handles (nil until Observe); the metric
+	// methods are nil-safe, so the hot paths bump them unconditionally.
+	obsSent        *obs.Counter
+	obsDelivered   *obs.Counter
+	obsLost        *obs.Counter
+	obsPartitioned *obs.Counter
+	obsNoLink      *obs.Counter
+	obsDelay       *obs.LogHistogram
+}
+
+// Observe registers the network's traffic counters and one-way delay
+// histogram in reg. The counters mirror Stats; the delay histogram
+// records every sampled link delay (messages that are sent, not lost).
+// Attaching a registry never perturbs the simulation: the instrumented
+// paths draw no extra randomness and schedule no extra events.
+func (n *Network) Observe(reg *obs.Registry) {
+	n.obsSent = reg.Counter("simnet_messages_sent_total")
+	n.obsDelivered = reg.Counter("simnet_messages_delivered_total")
+	n.obsLost = reg.Counter("simnet_messages_lost_total")
+	n.obsPartitioned = reg.Counter("simnet_messages_partitioned_total")
+	n.obsNoLink = reg.Counter("simnet_messages_nolink_total")
+	n.obsDelay = reg.LogHistogram("simnet_delay_seconds")
 }
 
 // delivery is one in-flight message envelope. Envelopes are pooled on the
@@ -184,6 +208,7 @@ func deliver(x any) {
 	d := x.(*delivery)
 	n := d.net
 	n.Stats.Delivered++
+	n.obsDelivered.Inc()
 	if h := n.handlers[d.msg.To]; h != nil {
 		h(d.msg)
 	}
@@ -317,15 +342,19 @@ func (n *Network) Send(from, to NodeID, payload any) bool {
 	cfg, ok := n.links[keyFor(from, to)]
 	if !ok {
 		n.Stats.NoLink++
+		n.obsNoLink.Inc()
 		return false
 	}
 	if n.group[from] != n.group[to] {
 		n.Stats.Partitioned++
+		n.obsPartitioned.Inc()
 		return false
 	}
 	n.Stats.Sent++
+	n.obsSent.Inc()
 	if cfg.Loss > 0 && n.rng.Float64() < cfg.Loss {
 		n.Stats.Lost++
+		n.obsLost.Inc()
 		return true // sent, silently lost
 	}
 	var d *delivery
@@ -337,7 +366,9 @@ func (n *Network) Send(from, to NodeID, payload any) bool {
 		d = &delivery{net: n}
 	}
 	d.msg = Message{From: from, To: to, Payload: payload, SentAt: n.sim.Now()}
-	n.sim.AfterCall(cfg.delayFor(from, to).Sample(n.rng), deliver, d)
+	delay := cfg.delayFor(from, to).Sample(n.rng)
+	n.obsDelay.Observe(delay)
+	n.sim.AfterCall(delay, deliver, d)
 	return true
 }
 

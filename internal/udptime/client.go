@@ -12,8 +12,21 @@ import (
 
 	"disttime/internal/interval"
 	"disttime/internal/ntp"
+	"disttime/internal/obs"
 	"disttime/internal/wire"
 )
+
+// SyncOptions carries the client-side parameters of rule IM-2's
+// transform.
+type SyncOptions struct {
+	// Delta is the local clock's drift-rate bound, dimensionless (the
+	// paper's delta_i; e.g. 100e-6 for a 100 ppm oscillator). It charges
+	// the transit term (1+Delta)*xi of the offset-interval transform:
+	// during the xi seconds the exchange was in flight, the local clock
+	// itself may have drifted by up to Delta*xi. Zero claims a perfect
+	// local oscillator.
+	Delta float64
+}
 
 // Measurement is one completed request/response exchange, interpreted
 // against the local clock.
@@ -30,6 +43,10 @@ type Measurement struct {
 	RTT time.Duration
 	// LocalRecv is the local clock's value when the response arrived.
 	LocalRecv time.Time
+	// Delta is the local drift-rate bound in force when the measurement
+	// was taken (stamped from the client's SyncOptions), so the
+	// measurement carries everything rule IM-2's transform needs.
+	Delta float64
 	// Unsynchronized marks a reading from a server that cannot bound its
 	// error.
 	Unsynchronized bool
@@ -37,36 +54,133 @@ type Measurement struct {
 
 // OffsetInterval returns the interval, in seconds, known to contain the
 // true offset between the server's timeline and the local clock: rule
-// IM-2's transform [C - E - local, C + E + xi - local]. (The drift term
-// (1+delta) xi is applied by the caller's delta via SyncOptions; over a
-// single RTT it is below nanosecond resolution for realistic delta.)
+// IM-2's transform [C - E - local, C + E + (1+delta)*xi - local]. The
+// server's reading was taken at some point during the round trip, so by
+// arrival it can lag the measured receive instant by up to the full
+// round trip plus the local clock's own drift over it — dropping the
+// (1+delta) factor shrinks the upper edge by delta*xi and can exclude
+// the true offset whenever xi is large.
 func (m Measurement) OffsetInterval() interval.Interval {
-	lo := m.C.Sub(m.LocalRecv) - m.E
-	hi := m.C.Sub(m.LocalRecv) + m.E + m.RTT
-	return interval.Interval{Lo: lo.Seconds(), Hi: hi.Seconds()}
+	base := m.C.Sub(m.LocalRecv).Seconds()
+	e := m.E.Seconds()
+	xi := m.RTT.Seconds()
+	return interval.Interval{Lo: base - e, Hi: base + e + (1+m.Delta)*xi}
 }
 
-// Client queries time servers.
+// clientMetrics is the resolved metric-handle set of an observed client.
+// The zero value (all handles nil) is fully inert: every obs method is
+// nil-safe, so Query bumps unconditionally.
+type clientMetrics struct {
+	queries  *obs.Counter      // udptime_client_queries_total
+	errors   *obs.Counter      // udptime_client_query_errors_total
+	timeouts *obs.Counter      // udptime_client_timeouts_total
+	strays   *obs.Counter      // udptime_client_stray_datagrams_total
+	rtt      *obs.LogHistogram // udptime_client_rtt_seconds
+}
+
+// Client queries time servers. It is safe for concurrent use: all
+// mutable state — the request-ID generator, the timeout, the local clock
+// source, the sync options, and the metric handles — is guarded by one
+// mutex, and Query reads a consistent snapshot of the configuration at
+// its start.
 type Client struct {
-	// Timeout bounds each query; defaults to one second.
-	Timeout time.Duration
-	// LocalClock supplies local readings for offset computation. Defaults
-	// to the system clock. To discipline a DisciplinedClock, set this to
-	// it so offsets are measured against the clock being steered.
-	LocalClock ClockSource
-
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu         sync.Mutex
+	timeoutDur time.Duration
+	local      ClockSource
+	opts       SyncOptions
+	metrics    clientMetrics
+	rng        *rand.Rand
 }
+
+// ClientOption configures a Client.
+type ClientOption interface {
+	applyClient(*Client)
+}
+
+type clientSyncOptions struct{ o SyncOptions }
+
+func (c clientSyncOptions) applyClient(cl *Client) { cl.opts = c.o }
+
+// WithSyncOptions sets the IM-2 transform parameters (notably the local
+// drift bound Delta) applied to every measurement the client takes.
+func WithSyncOptions(o SyncOptions) ClientOption { return clientSyncOptions{o: o} }
+
+type clientObsOption struct{ reg *obs.Registry }
+
+func (c clientObsOption) applyClient(cl *Client) { cl.resolveMetrics(c.reg) }
+
+// WithClientObservability resolves the client's metrics in reg: query,
+// error, timeout, and stray-datagram counters plus a round-trip-time
+// log histogram.
+func WithClientObservability(reg *obs.Registry) ClientOption { return clientObsOption{reg: reg} }
 
 // NewClient returns a client with the given per-query timeout (zero means
 // one second) measuring against local (nil means the system clock).
-func NewClient(timeout time.Duration, local ClockSource) *Client {
-	return &Client{
-		Timeout:    timeout,
-		LocalClock: local,
+func NewClient(timeout time.Duration, local ClockSource, opts ...ClientOption) *Client {
+	c := &Client{
+		timeoutDur: timeout,
+		local:      local,
 		rng:        newReqIDRNG(),
 	}
+	for _, o := range opts {
+		o.applyClient(c)
+	}
+	return c
+}
+
+// SetTimeout replaces the per-query timeout (zero restores the default
+// one second). Safe to call concurrently with queries in flight; only
+// queries started afterwards observe the new value.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeoutDur = d
+}
+
+// SetLocalClock replaces the clock source used for offset computation
+// (nil restores the system clock).
+func (c *Client) SetLocalClock(src ClockSource) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.local = src
+}
+
+// SetSyncOptions replaces the IM-2 transform parameters.
+func (c *Client) SetSyncOptions(o SyncOptions) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opts = o
+}
+
+// Observe resolves the client's metrics in reg (see
+// WithClientObservability). A nil registry detaches the handles.
+func (c *Client) Observe(reg *obs.Registry) { c.resolveMetrics(reg) }
+
+func (c *Client) resolveMetrics(reg *obs.Registry) {
+	var m clientMetrics
+	if reg != nil {
+		m = clientMetrics{
+			queries:  reg.Counter("udptime_client_queries_total"),
+			errors:   reg.Counter("udptime_client_query_errors_total"),
+			timeouts: reg.Counter("udptime_client_timeouts_total"),
+			strays:   reg.Counter("udptime_client_stray_datagrams_total"),
+			rtt:      reg.LogHistogram("udptime_client_rtt_seconds"),
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = m
+}
+
+// config returns a consistent snapshot of the client's configuration.
+func (c *Client) config() (time.Duration, ClockSource, SyncOptions, clientMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.timeoutDur
+	if d <= 0 {
+		d = time.Second
+	}
+	return d, c.local, c.opts, c.metrics
 }
 
 // newReqIDRNG seeds the request-ID generator from the OS entropy source,
@@ -83,20 +197,35 @@ func newReqIDRNG() *rand.Rand {
 			binary.LittleEndian.Uint64(b[:8]),
 			binary.LittleEndian.Uint64(b[8:])))
 	}
-	now := uint64(time.Now().UnixNano())
-	return rand.New(rand.NewPCG(now, now^0x9e3779b97f4a7c15))
+	return rand.New(fallbackPCG(uint64(time.Now().UnixNano())))
 }
 
-func (c *Client) timeout() time.Duration {
-	if c.Timeout > 0 {
-		return c.Timeout
-	}
-	return time.Second
+// fallbackPCG derives the two PCG seed words from a single seed by
+// running splitmix64 twice. The previous fallback used (seed, seed^K)
+// with a fixed constant K, which ties the words together by a known
+// relation an off-path spoofer could exploit; splitmix64's finalizer
+// makes the two words independent-looking functions of the seed (this is
+// the seeding recommended by the xoshiro/PCG authors for expanding one
+// word of entropy into a full seed state).
+func fallbackPCG(seed uint64) *rand.PCG {
+	s1 := splitmix64(&seed)
+	s2 := splitmix64(&seed)
+	return rand.NewPCG(s1, s2)
 }
 
-func (c *Client) localNow() time.Time {
-	if c.LocalClock != nil {
-		now, _, _ := c.LocalClock.Now()
+// splitmix64 advances the state by the golden-ratio increment and
+// returns the finalizer mix of the new state.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func localNow(src ClockSource) time.Time {
+	if src != nil {
+		now, _, _ := src.Now()
 		return now
 	}
 	return time.Now()
@@ -113,6 +242,22 @@ func (c *Client) nextReqID() uint64 {
 
 // Query sends one time request to addr and returns the measurement.
 func (c *Client) Query(addr string) (Measurement, error) {
+	timeout, local, opts, mtr := c.config()
+	mtr.queries.Inc()
+	m, err := c.query(addr, timeout, local, opts, mtr)
+	if err != nil {
+		mtr.errors.Inc()
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			mtr.timeouts.Inc()
+		}
+		return Measurement{}, err
+	}
+	mtr.rtt.Observe(m.RTT.Seconds())
+	return m, nil
+}
+
+func (c *Client) query(addr string, timeout time.Duration, local ClockSource, opts SyncOptions, mtr clientMetrics) (Measurement, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("udptime: resolve %q: %w", addr, err)
@@ -126,12 +271,12 @@ func (c *Client) Query(addr string) (Measurement, error) {
 	reqID := c.nextReqID()
 	out := wire.AppendRequest(make([]byte, 0, wire.RequestSize), wire.Request{ReqID: reqID})
 
-	deadline := time.Now().Add(c.timeout())
+	deadline := time.Now().Add(timeout)
 	if err := conn.SetDeadline(deadline); err != nil {
 		return Measurement{}, fmt.Errorf("udptime: deadline: %w", err)
 	}
 
-	sentLocal := c.localNow()
+	sentLocal := localNow(local)
 	sentMono := time.Now()
 	if _, err := conn.Write(out); err != nil {
 		return Measurement{}, fmt.Errorf("udptime: send to %q: %w", addr, err)
@@ -145,7 +290,8 @@ func (c *Client) Query(addr string) (Measurement, error) {
 		}
 		resp, err := wire.ParseResponse(buf[:n])
 		if err != nil || resp.ReqID != reqID {
-			continue // stray or malformed datagram; keep waiting
+			mtr.strays.Inc() // stray, short, or malformed datagram
+			continue         // keep waiting for ours
 		}
 		rtt := time.Since(sentMono)
 		return Measurement{
@@ -155,6 +301,7 @@ func (c *Client) Query(addr string) (Measurement, error) {
 			E:              resp.MaxError,
 			RTT:            rtt,
 			LocalRecv:      sentLocal.Add(rtt),
+			Delta:          opts.Delta,
 			Unsynchronized: resp.Unsynchronized,
 		}, nil
 	}

@@ -126,6 +126,15 @@ func (c *DisciplinedClock) Adjust(offset time.Duration, maxErr time.Duration) er
 	return nil
 }
 
+// DriftPPM returns the drift bound the clock's oscillator is trusted
+// to, in parts per million — the paper's delta for this clock, used by
+// the syncer to default the IM-2 transform's transit charge.
+func (c *DisciplinedClock) DriftPPM() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.driftPPM
+}
+
 // Sets returns how many times the clock has been disciplined.
 func (c *DisciplinedClock) Sets() int {
 	c.mu.Lock()

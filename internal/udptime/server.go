@@ -5,14 +5,17 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"sync/atomic"
 
+	"disttime/internal/obs"
 	"disttime/internal/wire"
 )
 
 // Server is a UDP time server: it answers each wire.Request with the
 // reading of its ClockSource at the moment the request was processed
-// (rule MM-1).
+// (rule MM-1). With WithHealthListener it also serves /healthz,
+// Prometheus-style /metrics, and pprof over HTTP.
 type Server struct {
 	id     uint64
 	src    ClockSource
@@ -22,6 +25,17 @@ type Server struct {
 
 	requests atomic.Uint64
 	errsSeen atomic.Uint64
+
+	// Observability (see health.go). The obs handles are nil without a
+	// registry; obs methods are nil-safe, so the serve loop bumps them
+	// unconditionally.
+	reg          *obs.Registry
+	obsRequests  *obs.Counter
+	obsMalformed *obs.Counter
+	obsSendErrs  *obs.Counter
+	healthAddr   string
+	healthLn     net.Listener
+	health       *http.Server
 }
 
 // ServerOption configures a Server.
@@ -58,6 +72,10 @@ func NewServer(addr string, id uint64, src ClockSource, opts ...ServerOption) (*
 	for _, o := range opts {
 		o.applyServer(s)
 	}
+	if err := s.startHealth(); err != nil {
+		conn.Close()
+		return nil, err
+	}
 	go s.serve()
 	return s, nil
 }
@@ -74,8 +92,10 @@ func (s *Server) Requests() uint64 { return s.requests.Load() }
 // MalformedDatagrams returns how many datagrams failed to parse.
 func (s *Server) MalformedDatagrams() uint64 { return s.errsSeen.Load() }
 
-// Close stops the server and waits for its loop to exit.
+// Close stops the server (and its health listener, if any) and waits
+// for its loop to exit.
 func (s *Server) Close() error {
+	s.closeHealth()
 	err := s.conn.Close()
 	<-s.done
 	return err
@@ -97,6 +117,7 @@ func (s *Server) serve() {
 		req, err := wire.ParseRequest(buf[:n])
 		if err != nil {
 			s.errsSeen.Add(1)
+			s.obsMalformed.Inc()
 			if s.logger != nil {
 				s.logger.Printf("udptime: bad request from %v: %v", peer, err)
 			}
@@ -120,8 +141,10 @@ func (s *Server) serve() {
 				return
 			}
 			s.errsSeen.Add(1)
+			s.obsSendErrs.Inc()
 			continue
 		}
 		s.requests.Add(1)
+		s.obsRequests.Inc()
 	}
 }

@@ -3,10 +3,12 @@ package udptime
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"disttime/internal/interval"
+	"disttime/internal/obs"
 )
 
 // Syncer is the client-side daemon: it periodically queries a set of time
@@ -14,9 +16,10 @@ import (
 // intersection (rule IM-2) or fault-tolerant selection. It owns one
 // background goroutine; Stop signals it and waits for it to exit.
 type Syncer struct {
-	cfg    SyncerConfig
-	dc     *DisciplinedClock
-	client *Client
+	cfg     SyncerConfig
+	dc      *DisciplinedClock
+	client  *Client
+	metrics syncerMetrics
 
 	stop chan struct{}
 	done chan struct{}
@@ -44,6 +47,15 @@ type SyncerConfig struct {
 	// round, keeping the minimum-RTT measurement (the [Mills 81]-lineage
 	// delay filter). Defaults to 1 (no burst).
 	Burst int
+	// SyncOptions configures the IM-2 transform the client applies to
+	// every measurement. When Delta is unset (<= 0), it defaults to the
+	// disciplined clock's own drift bound (DriftPPM / 1e6), so the
+	// transit charge (1+delta)*xi matches the oscillator being steered.
+	SyncOptions SyncOptions
+	// Metrics, when non-nil, receives the syncer's observability: round
+	// and failure counters, applied error-bound and offset histograms,
+	// plus the underlying client's query counters and RTT histogram.
+	Metrics *obs.Registry
 	// OnSync, when non-nil, observes every completed round. It is called
 	// from the syncer's goroutine; it must not block for long.
 	OnSync func(SyncReport)
@@ -82,15 +94,44 @@ func NewSyncer(dc *DisciplinedClock, cfg SyncerConfig) (*Syncer, error) {
 	if cfg.KeepSurvivors <= 0 {
 		cfg.KeepSurvivors = 10
 	}
+	if cfg.SyncOptions.Delta <= 0 {
+		cfg.SyncOptions.Delta = dc.DriftPPM() / 1e6
+	}
+	clientOpts := []ClientOption{WithSyncOptions(cfg.SyncOptions)}
+	if cfg.Metrics != nil {
+		clientOpts = append(clientOpts, WithClientObservability(cfg.Metrics))
+	}
 	s := &Syncer{
-		cfg:    cfg,
-		dc:     dc,
-		client: NewClient(cfg.Timeout, dc),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:     cfg,
+		dc:      dc,
+		client:  NewClient(cfg.Timeout, dc, clientOpts...),
+		metrics: newSyncerMetrics(cfg.Metrics),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	go s.run()
 	return s, nil
+}
+
+// syncerMetrics is the syncer's resolved metric-handle set; the zero
+// value is inert (all obs methods are nil-safe).
+type syncerMetrics struct {
+	rounds   *obs.Counter      // udptime_sync_rounds_total
+	failures *obs.Counter      // udptime_sync_failures_total
+	errBound *obs.LogHistogram // udptime_sync_error_bound_seconds
+	offset   *obs.LogHistogram // udptime_sync_offset_seconds
+}
+
+func newSyncerMetrics(reg *obs.Registry) syncerMetrics {
+	if reg == nil {
+		return syncerMetrics{}
+	}
+	return syncerMetrics{
+		rounds:   reg.Counter("udptime_sync_rounds_total"),
+		failures: reg.Counter("udptime_sync_failures_total"),
+		errBound: reg.LogHistogram("udptime_sync_error_bound_seconds"),
+		offset:   reg.LogHistogram("udptime_sync_offset_seconds"),
+	}
 }
 
 // Stop halts the syncer and waits for its goroutine to exit. It is safe
@@ -161,6 +202,13 @@ func (s *Syncer) round() {
 		}
 		report.Applied = applied
 		report.Survivors = len(ms)
+	}
+	s.metrics.rounds.Inc()
+	if report.Err != nil {
+		s.metrics.failures.Inc()
+	} else {
+		s.metrics.errBound.Observe(report.Applied.HalfWidth())
+		s.metrics.offset.Observe(math.Abs(report.Applied.Midpoint()))
 	}
 	if s.cfg.OnSync != nil {
 		s.cfg.OnSync(report)

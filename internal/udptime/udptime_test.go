@@ -460,7 +460,7 @@ func TestSyncerStopJoinsGoroutine(t *testing.T) {
 
 func TestClientDefaults(t *testing.T) {
 	c := NewClient(0, nil)
-	if got := c.timeout(); got != time.Second {
+	if got, _, _, _ := c.config(); got != time.Second {
 		t.Errorf("default timeout = %v", got)
 	}
 	// A zero-value client (not built by NewClient) lazily seeds its PRNG.
@@ -468,7 +468,7 @@ func TestClientDefaults(t *testing.T) {
 	if a, b := zero.nextReqID(), zero.nextReqID(); a == b {
 		t.Error("req IDs not distinct")
 	}
-	if got := zero.localNow(); got.IsZero() {
+	if got := localNow(nil); got.IsZero() {
 		t.Error("localNow returned zero time")
 	}
 }
