@@ -9,15 +9,17 @@ GO ?= go
 # but omitted from the other.
 RACE_PKGS = ./internal/par ./internal/sim ./internal/experiments \
             ./internal/service ./internal/simnet ./internal/interval \
-            ./internal/chaos ./internal/udptime ./internal/obs ./cmd/...
+            ./internal/chaos ./internal/udptime ./internal/obs \
+            ./internal/member ./cmd/...
 
 # Packages whose line coverage is floored by `make cover-check` (and so by
-# `make check`): the theorem algebra and the interval sweep are the proof
-# core, so untested lines there are untested math.
-COVER_FLOOR_PKGS = ./internal/core ./internal/interval
+# `make check`): the theorem algebra, the interval sweep, and the
+# membership state machine are the proof core, so untested lines there
+# are untested math.
+COVER_FLOOR_PKGS = ./internal/core ./internal/interval ./internal/member
 COVER_FLOOR     ?= 85
 
-.PHONY: all build vet lint test check test-race cover cover-check chaos obs-smoke fuzz-smoke bench experiments ablations examples clean
+.PHONY: all build vet lint test check test-race cover cover-check chaos obs-smoke churn-smoke fuzz-smoke bench experiments ablations examples clean
 
 all: build vet lint test
 
@@ -43,7 +45,7 @@ test:
 # tier-1 tests, the lint gate, the proof-core coverage floor, and the
 # observability determinism smoke travel together (race rides inside
 # `test` via RACE_PKGS).
-check: vet lint test cover-check obs-smoke
+check: vet lint test cover-check obs-smoke churn-smoke
 
 test-race:
 	$(GO) test -race $(RACE_PKGS)
@@ -82,6 +84,16 @@ obs-smoke:
 	$(GO) run ./cmd/timesim -metrics $$tmp/m2.json -trace-out $$tmp/t2.jsonl > /dev/null && \
 	cmp $$tmp/m1.json $$tmp/m2.json && cmp $$tmp/t1.jsonl $$tmp/t2.jsonl && \
 	rm -rf $$tmp && echo "obs-smoke: seeded snapshots and span logs byte-identical"
+
+# Membership smoke: two seeded `timesim -churn` runs diffed
+# byte-for-byte — the dynamic-membership timeline (joins, voluntary
+# departures, rejoins, detector verdicts) is a pure function of the seed.
+churn-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/timesim -churn 2 -churn-seed 7 > $$tmp/c1.txt && \
+	$(GO) run ./cmd/timesim -churn 2 -churn-seed 7 > $$tmp/c2.txt && \
+	cmp $$tmp/c1.txt $$tmp/c2.txt && \
+	rm -rf $$tmp && echo "churn-smoke: seeded membership timelines byte-identical"
 
 # Short coverage-guided fuzz pass over the M-of-N interval sweep (vs the
 # naive oracle). CI-sized; run with a larger -fuzztime when hunting.

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"disttime/internal/obs"
+	"disttime/internal/service"
+)
+
+// churnOpts carries the -churn flags.
+type churnOpts struct {
+	rate    float64 // -churn: leave/rejoin cycles per 100 simulated seconds
+	seed    uint64  // -churn-seed
+	n       int     // -churn-n: cluster size
+	dur     float64 // -churn-dur: virtual duration, seconds
+	metrics string  // -metrics, shared with the other modes
+}
+
+// runChurn runs the membership demo: an n-server mesh with dynamic
+// membership enabled, subjected to a seeded schedule of voluntary
+// leave/rejoin cycles, printing the full membership timeline — every
+// roster transition every server observes, in virtual-time order.
+//
+// The schedule is drawn from its own deterministic generator and the
+// service is seeded, so the entire output is a pure function of the
+// flags: two invocations with the same seed are byte-identical, which
+// `make churn-smoke` and the CLI tests enforce. A FALSE-EVICTION token
+// in the timeline (a live server evicted) would mark a detector-bound
+// violation and is asserted absent.
+func runChurn(o churnOpts, out io.Writer) error {
+	if o.n < 3 {
+		return fmt.Errorf("churn demo needs at least 3 servers, got %d", o.n)
+	}
+	if o.dur <= 0 {
+		o.dur = 300
+	}
+	specs := make([]service.ServerSpec, o.n)
+	for i := range specs {
+		// Deterministic mixed drift rates within the claimed bound.
+		specs[i] = service.ServerSpec{
+			Delta:        2e-4,
+			Drift:        (float64(i%5) - 2) * 4e-5,
+			InitialError: 0.05,
+			SyncEvery:    10,
+		}
+	}
+	svc, err := service.New(service.Config{
+		Seed:    o.seed,
+		Servers: specs,
+		Members: &service.MemberConfig{GossipEvery: 5},
+	})
+	if err != nil {
+		return err
+	}
+	var reg *obs.Registry
+	if o.metrics != "" {
+		reg = obs.NewRegistry()
+		svc.Observe(reg, nil)
+	}
+	// The roster emits a change for every fresher observation, heartbeat
+	// refreshes included; the timeline keeps only material transitions —
+	// joins, status changes, and generation bumps (rejoins) — which is
+	// still a deterministic function of the run.
+	timeline, falseEvictions := 0, 0
+	lastGen := make(map[[2]int]uint64)
+	svc.AddMemberChange(func(ev service.MemberEvent) {
+		key := [2]int{ev.Observer, ev.Subject}
+		refresh := ev.From == ev.To && !ev.Joined && !ev.FalseEviction && lastGen[key] == ev.Gen
+		lastGen[key] = ev.Gen
+		if refresh {
+			return
+		}
+		timeline++
+		if ev.FalseEviction {
+			falseEvictions++
+		}
+		fmt.Fprintln(out, ev)
+	})
+
+	// The churn schedule: rate cycles per 100 simulated seconds, each a
+	// voluntary departure followed by a rejoin 20..60 s later, landing
+	// inside the middle of the run so departures settle before the end.
+	rng := rand.New(rand.NewPCG(o.seed, 0x636875726e)) // "churn"
+	cycles := int(o.rate * o.dur / 100)
+	if cycles < 1 {
+		cycles = 1
+	}
+	fmt.Fprintf(out, "churn demo: n=%d dur=%gs rate=%g cycles=%d seed=%d\n",
+		o.n, o.dur, o.rate, cycles, o.seed)
+	for k := 0; k < cycles; k++ {
+		target := rng.IntN(o.n)
+		at := (0.05 + 0.70*rng.Float64()) * o.dur
+		down := 20 + 40*rng.Float64()
+		fmt.Fprintf(out, "cycle %d: server %d leaves t=%.3f rejoins t=%.3f\n",
+			k, target, at, at+down)
+		svc.LeaveAt(at, target)
+		svc.RejoinAt(at+down, target)
+	}
+	svc.Run(o.dur)
+	fmt.Fprintf(out, "churn run: seed=%d steps=%d timeline=%d false-evictions=%d\n",
+		o.seed, svc.Sim.Steps(), timeline, falseEvictions)
+	if err := writeMetrics(o.metrics, reg); err != nil {
+		return err
+	}
+	if falseEvictions > 0 {
+		return fmt.Errorf("churn demo recorded %d false evictions", falseEvictions)
+	}
+	return nil
+}

@@ -11,7 +11,8 @@
 //	timesim -all -parallel 0        # fan out over GOMAXPROCS workers
 //	timesim -ablations -parallel 4  # identical output, 4 workers
 //	timesim -chaos -campaigns 60 -chaos-seed 1
-//	timesim -chaos -replay internal/chaos/corpus/buggy-mm-containment.repro
+//	timesim -chaos -replay internal/chaos/corpus/buggy-mm-churn.repro
+//	timesim -churn 2 -churn-seed 7     # dynamic-membership timeline demo
 //	timesim -metrics out.json -trace-out spans.jsonl   # instrumented demo run
 //	timesim -chaos -campaigns 60 -metrics chaos.json   # observed campaigns
 //
@@ -55,6 +56,10 @@ func run(args []string, out io.Writer) error {
 		chaosSeed = fs.Uint64("chaos-seed", 1, "first campaign seed (with -chaos; campaigns use consecutive seeds)")
 		replay    = fs.String("replay", "", "replay a chaos reproducer: a literal line or a corpus file path (with -chaos)")
 		noShrink  = fs.Bool("no-shrink", false, "report failing chaos campaigns without minimizing them")
+		churnRate = fs.Float64("churn", 0, "run the dynamic-membership demo: voluntary leave/rejoin cycles per 100 simulated seconds; prints the deterministic membership timeline")
+		churnSeed = fs.Uint64("churn-seed", 1, "seed of the churn demo (with -churn); equal seeds give byte-identical timelines")
+		churnN    = fs.Int("churn-n", 5, "cluster size of the churn demo (with -churn)")
+		churnDur  = fs.Float64("churn-dur", 300, "virtual duration in seconds of the churn demo (with -churn)")
 		metrics   = fs.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this path; alone it runs the instrumented demo scenario, with -chaos it observes the campaigns")
 		traceOut  = fs.String("trace-out", "", "write sync-round spans (JSONL) to this path; runs the instrumented demo scenario")
 		obsSeed   = fs.Uint64("obs-seed", 1, "seed for the instrumented demo scenario (with -metrics/-trace-out)")
@@ -86,6 +91,14 @@ func run(args []string, out io.Writer) error {
 			replay:    *replay,
 			shrink:    !*noShrink,
 			metrics:   *metrics,
+		}, out)
+	case *churnRate > 0:
+		return runChurn(churnOpts{
+			rate:    *churnRate,
+			seed:    *churnSeed,
+			n:       *churnN,
+			dur:     *churnDur,
+			metrics: *metrics,
 		}, out)
 	case *figures:
 		_, err := fmt.Fprintln(out, experiments.Figures())

@@ -6,6 +6,7 @@ import (
 	"disttime/internal/clock"
 	"disttime/internal/core"
 	"disttime/internal/interval"
+	"disttime/internal/member"
 	"disttime/internal/ntp"
 	"disttime/internal/obs"
 	"disttime/internal/service"
@@ -267,6 +268,35 @@ var (
 	WithClientObservability = udptime.WithClientObservability
 	// WithSyncOptions sets a client's IM-2 transform parameters.
 	WithSyncOptions = udptime.WithSyncOptions
+)
+
+// Dynamic membership (internal/member), available on both substrates:
+// SimulationConfig.Members enables it in the simulator, PeerConfig.Seeds
+// on the real UDP path.
+type (
+	// MembershipConfig tunes a roster-backed Peer's gossip cadence,
+	// drift-aware failure detection, and peer-selection fanout.
+	MembershipConfig = udptime.MembershipConfig
+	// MemberConfig enables dynamic membership in a Simulation.
+	MemberConfig = service.MemberConfig
+	// MemberEvent is one roster transition observed in a Simulation.
+	MemberEvent = service.MemberEvent
+	// MemberStatus is a roster entry's lifecycle status.
+	MemberStatus = member.Status
+	// UDPMember is one roster entry of a roster-backed Peer, keyed by
+	// the member's serving address.
+	UDPMember = member.Entry[string]
+	// MemberDetectorConfig carries the drift-aware deadline parameters
+	// (period, miss budget, delay bound xi, drift bounds delta).
+	MemberDetectorConfig = member.DetectorConfig
+)
+
+// Roster statuses.
+const (
+	MemberAlive   = member.Alive
+	MemberSuspect = member.Suspect
+	MemberLeft    = member.Left
+	MemberEvicted = member.Evicted
 )
 
 // Simulation tracing (internal/trace).

@@ -228,6 +228,67 @@ func TestPeerFacade(t *testing.T) {
 	}
 }
 
+func TestMembershipFacade(t *testing.T) {
+	// The simulated substrate: a leave/rejoin cycle produces join and
+	// status-change events, and no live server is ever evicted.
+	specs := make([]disttime.ServerSpec, 4)
+	for i := range specs {
+		specs[i] = disttime.ServerSpec{
+			Delta: 2e-4, InitialError: 0.05, SyncEvery: 10,
+		}
+	}
+	sim, err := disttime.NewSimulation(disttime.SimulationConfig{
+		Seed:    11,
+		Servers: specs,
+		Members: &disttime.MemberConfig{GossipEvery: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejoins, leaves := 0, 0
+	sim.AddMemberChange(func(ev disttime.MemberEvent) {
+		if ev.From == disttime.MemberLeft && ev.To == disttime.MemberAlive {
+			rejoins++
+		}
+		if ev.To == disttime.MemberLeft {
+			leaves++
+		}
+		if ev.FalseEviction {
+			t.Errorf("false eviction: %v", ev)
+		}
+	})
+	sim.LeaveAt(60, 1)
+	sim.RejoinAt(120, 1)
+	sim.Run(300)
+	if leaves == 0 {
+		t.Error("voluntary departure produced no Left observations")
+	}
+	if rejoins == 0 {
+		t.Error("rejoin produced no left->alive observations")
+	}
+
+	// The UDP substrate: Seeds alone make a roster-backed peer whose
+	// membership view is typed through the facade.
+	p, err := disttime.NewPeer(disttime.PeerConfig{
+		Addr: "127.0.0.1:0", ID: 1, DriftPPM: 100,
+		Seeds:      []string{"127.0.0.1:9"},
+		Membership: disttime.MembershipConfig{Gossip: time.Hour},
+		Interval:   time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var members []disttime.UDPMember = p.Members()
+	if len(members) < 2 {
+		t.Fatalf("roster-backed peer knows %d members, want self + seed", len(members))
+	}
+	var st disttime.MemberStatus = members[0].Status
+	if st != disttime.MemberAlive {
+		t.Errorf("first member status = %v, want alive", st)
+	}
+}
+
 func TestConsonanceFacade(t *testing.T) {
 	specs := []disttime.ServerSpec{
 		{Delta: 1e-5, Drift: 0.5e-5, InitialError: 0.05, SyncEvery: 30},

@@ -51,6 +51,7 @@ const (
 	DelaySpike                       // every link's delays are scaled by Param in [At, At+Dur)
 	Partition                        // network splits into Groups in [At, At+Dur)
 	Crash                            // server Target is down in [At, At+Dur)
+	Churn                            // server Target leaves voluntarily at At and rejoins at At+Dur
 )
 
 // kindNames maps kinds to their reproducer-line tokens.
@@ -63,6 +64,7 @@ var kindNames = map[FaultKind]string{
 	DelaySpike:  "delay",
 	Partition:   "part",
 	Crash:       "crash",
+	Churn:       "churn",
 }
 
 // String returns the kind's reproducer-line token.
@@ -86,7 +88,7 @@ func (k FaultKind) isClockFault() bool {
 // targeted reports whether the kind applies to a single server.
 func (k FaultKind) targeted() bool {
 	switch k {
-	case StopClock, RaceClock, StickClock, Falseticker, Crash:
+	case StopClock, RaceClock, StickClock, Falseticker, Crash, Churn:
 		return true
 	}
 	return false
@@ -95,7 +97,7 @@ func (k FaultKind) targeted() bool {
 // windowed reports whether the kind has a duration (an end event).
 func (k FaultKind) windowed() bool {
 	switch k {
-	case LossBurst, DelaySpike, Partition, Crash:
+	case LossBurst, DelaySpike, Partition, Crash, Churn:
 		return true
 	}
 	return false
@@ -138,6 +140,12 @@ type Campaign struct {
 	Dur float64
 	// Sync is every server's synchronization period.
 	Sync float64
+	// Mem enables dynamic membership on every server: rosters, gossip,
+	// the drift-aware failure detector, and roster-driven polling.
+	// Churn faults exercise the full leave/rejoin protocol when Mem is
+	// set; without it they degrade to crash/restart (the only departure
+	// a static topology can express).
+	Mem bool
 	// Faults is the schedule, ordered by At.
 	Faults []Fault
 }
@@ -191,15 +199,18 @@ func Generate(seed uint64) Campaign {
 	fns := []string{"MM", "IM", "IMdrop", "selectIM"}
 	c.FnName = fns[rng.IntN(len(fns))]
 	c.Recovery = rng.IntN(2) == 0
+	c.Mem = rng.IntN(2) == 0
 	for nf := rng.IntN(6); nf > 0; nf-- {
-		c.Faults = append(c.Faults, randomFault(rng, c.N, c.Dur))
+		c.Faults = append(c.Faults, randomFault(rng, c.N, c.Dur, c.Mem))
 	}
 	sortFaults(c.Faults)
 	return c
 }
 
-// randomFault draws one fault with on-grid times inside (0, dur).
-func randomFault(rng *rand.Rand, n int, dur float64) Fault {
+// randomFault draws one fault with on-grid times inside (0, dur). Churn
+// faults are drawn only for membership-enabled campaigns, where they
+// exercise the full leave/rejoin protocol.
+func randomFault(rng *rand.Rand, n int, dur float64, mem bool) Fault {
 	at := 5 * float64(1+rng.IntN(int(dur/5)-2))
 	win := 5 * float64(2+rng.IntN(19)) // 10..100 s
 	if at+win > dur {
@@ -209,7 +220,11 @@ func randomFault(rng *rand.Rand, n int, dur float64) Fault {
 	if rng.IntN(2) == 0 {
 		sign = -1
 	}
-	switch FaultKind(1 + rng.IntN(8)) {
+	kinds := 8
+	if mem {
+		kinds = 9
+	}
+	switch FaultKind(1 + rng.IntN(kinds)) {
 	case StopClock:
 		return Fault{Kind: StopClock, Target: rng.IntN(n), At: at}
 	case RaceClock:
@@ -240,6 +255,8 @@ func randomFault(rng *rand.Rand, n int, dur float64) Fault {
 			}
 		}
 		return Fault{Kind: Partition, At: at, Dur: win, Groups: groups}
+	case Churn:
+		return Fault{Kind: Churn, Target: rng.IntN(n), At: at, Dur: win}
 	default:
 		return Fault{Kind: Crash, Target: rng.IntN(n), At: at, Dur: win}
 	}
@@ -410,12 +427,20 @@ func (c Campaign) build(override core.SyncFunc) (*service.Service, error) {
 			},
 		}
 	}
-	return service.New(service.Config{
+	cfg := service.Config{
 		Seed:       c.Seed,
 		Delay:      nominalDelay(),
 		Topology:   topo,
 		Fn:         fn,
 		Servers:    specs,
 		CollectFor: collectWindow,
-	})
+	}
+	if c.Mem {
+		// Gossip several times per sync period so rosters converge well
+		// within the campaign; the detector's deadline follows from the
+		// period via member.DetectorConfig, so eviction windows stay
+		// small relative to Dur.
+		cfg.Members = &service.MemberConfig{GossipEvery: math.Max(2, c.Sync/5)}
+	}
+	return service.New(cfg)
 }

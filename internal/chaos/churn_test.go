@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// churnCampaign builds a deterministic membership campaign with one
+// churn fault, varying the rule and target with the seed.
+func churnCampaign(seed uint64) Campaign {
+	fns := []string{"MM", "IM", "IMdrop", "selectIM"}
+	n := 3 + int(seed%4)
+	c := Campaign{
+		Seed:   seed,
+		N:      n,
+		Topo:   "mesh",
+		FnName: fns[seed%4],
+		Dur:    300,
+		Sync:   30,
+		Mem:    true,
+		Faults: []Fault{
+			{Kind: Churn, Target: int(seed) % n, At: 60, Dur: 60},
+			{Kind: Churn, Target: int(seed+1) % n, At: 150, Dur: 45},
+		},
+	}
+	return c
+}
+
+// TestChurnCampaignsPass is the acceptance sweep for membership: fifty
+// seeded campaigns with churn faults (and dynamic membership enabled)
+// must violate no invariant under any of the real synchronization
+// rules — containment for untainted servers holds across membership
+// changes.
+func TestChurnCampaignsPass(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		c := churnCampaign(seed)
+		v, err := Run(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v\ncampaign: %s", seed, err, c)
+		}
+		if !v.OK {
+			first, _ := v.First()
+			t.Errorf("seed %d: %v\ncampaign: %s", seed, first, c)
+		}
+	}
+}
+
+// TestChurnDeterministic re-runs churn campaigns and demands identical
+// verdicts, step count included: membership (gossip, detection,
+// roster-driven selection) must not break the byte-determinism
+// contract.
+func TestChurnDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		c := churnCampaign(seed)
+		a, err := Run(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Run(c)
+		if err != nil {
+			t.Fatalf("seed %d re-run: %v", seed, err)
+		}
+		if a.Steps != b.Steps || a.OK != b.OK {
+			t.Fatalf("seed %d: verdicts diverge: %+v vs %+v", seed, a, b)
+		}
+	}
+}
+
+// TestChurnCodecRoundTrip checks the reproducer grammar for churn
+// faults and the optional mem field.
+func TestChurnCodecRoundTrip(t *testing.T) {
+	c := churnCampaign(3)
+	line := c.String()
+	if !strings.Contains(line, "mem=1") || !strings.Contains(line, "churn:") {
+		t.Fatalf("encoded line misses membership fields: %s", line)
+	}
+	got, err := Parse(line)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", line, err)
+	}
+	if !got.Mem || got.String() != line {
+		t.Fatalf("round trip changed the campaign:\n in: %s\nout: %s", line, got.String())
+	}
+
+	// A pre-membership line (no mem field) still parses, defaults to
+	// Mem=false, and re-encodes unchanged — committed corpus lines stay
+	// valid byte-for-byte.
+	old := "v1 seed=34 n=3 topo=mesh fn=MM rec=0 dur=60 sync=30 faults=crash:1@30+30"
+	oc, err := Parse(old)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", old, err)
+	}
+	if oc.Mem || oc.String() != old {
+		t.Fatalf("legacy line did not round-trip: %s", oc.String())
+	}
+
+	// Malformed churn tokens are rejected.
+	bad := []string{
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=0 mem=1 dur=300 sync=30 faults=churn:1@50",    // missing window
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=0 mem=1 dur=300 sync=30 faults=churn@50+60",   // missing target
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=0 mem=1 dur=300 sync=30 faults=churn:9@50+60", // target out of range
+		"v1 seed=1 n=3 topo=mesh fn=MM rec=0 mem=2 dur=300 sync=30 faults=-",             // bad mem bit
+	}
+	for _, line := range bad {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed line", line)
+		}
+	}
+}
+
+// TestChurnBuggyMMCaught pins the corpus/buggy-mm-churn.repro campaign:
+// under the planted BuggyMM rule the membership campaign must violate
+// containment (the monitor sees through roster-driven polling), while
+// the committed corpus expectation asserts it passes under real MM.
+func TestChurnBuggyMMCaught(t *testing.T) {
+	line := "v1 seed=2 n=3 topo=mesh fn=MM rec=0 mem=1 dur=90 sync=30 faults=churn:1@30+30"
+	c, err := Parse(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := RunInjected(c, BuggyMM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatal("BuggyMM slipped past the monitor on the churn corpus campaign")
+	}
+	first, _ := v.First()
+	if first.Invariant != "containment" {
+		t.Fatalf("expected a containment violation, got %+v", first)
+	}
+}
+
+// TestChurnWithoutMembershipDegrades checks the documented fallback: a
+// churn fault on a membership-less campaign behaves like crash/restart
+// and still passes every invariant.
+func TestChurnWithoutMembershipDegrades(t *testing.T) {
+	c := churnCampaign(5)
+	c.Mem = false
+	v, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		first, _ := v.First()
+		t.Fatalf("membership-less churn campaign violated %v", first)
+	}
+}

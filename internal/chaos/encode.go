@@ -23,9 +23,12 @@ import (
 //	race:<srv>@<at>*<rate>     false:<srv>@<at>*<jump>
 //	loss@<at>+<dur>*<p>        delay@<at>+<dur>*<mult>
 //	part@<at>+<dur>=<g>|<g>    crash:<srv>@<at>+<dur>
+//	churn:<srv>@<at>+<dur>
 //
 // where a partition group <g> is '.'-joined server indices. An empty
-// schedule is written as `faults=-`.
+// schedule is written as `faults=-`. The optional `mem=1` field enables
+// dynamic membership; it is omitted when unset, so pre-membership
+// reproducer lines parse (and re-encode) unchanged.
 
 // fmtF renders a float with the shortest decimal that round-trips.
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -33,8 +36,12 @@ func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // String encodes the campaign as a one-line reproducer.
 func (c Campaign) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "v1 seed=%d n=%d topo=%s fn=%s rec=%d dur=%s sync=%s faults=",
-		c.Seed, c.N, c.Topo, c.FnName, boolBit(c.Recovery), fmtF(c.Dur), fmtF(c.Sync))
+	fmt.Fprintf(&b, "v1 seed=%d n=%d topo=%s fn=%s rec=%d",
+		c.Seed, c.N, c.Topo, c.FnName, boolBit(c.Recovery))
+	if c.Mem {
+		b.WriteString(" mem=1")
+	}
+	fmt.Fprintf(&b, " dur=%s sync=%s faults=", fmtF(c.Dur), fmtF(c.Sync))
 	if len(c.Faults) == 0 {
 		b.WriteString("-")
 		return b.String()
@@ -64,7 +71,7 @@ func encodeFault(f Fault) string {
 		return fmt.Sprintf("%s:%d@%s*%s", f.Kind, f.Target, fmtF(f.At), fmtF(f.Param))
 	case LossBurst, DelaySpike:
 		return fmt.Sprintf("%s@%s+%s*%s", f.Kind, fmtF(f.At), fmtF(f.Dur), fmtF(f.Param))
-	case Crash:
+	case Crash, Churn:
 		return fmt.Sprintf("%s:%d@%s+%s", f.Kind, f.Target, fmtF(f.At), fmtF(f.Dur))
 	case Partition:
 		groups := make([]string, len(f.Groups))
@@ -110,6 +117,11 @@ func Parse(line string) (Campaign, error) {
 			c.FnName = val
 		case "rec":
 			c.Recovery = val == "1"
+			if val != "0" && val != "1" {
+				err = fmt.Errorf("want 0 or 1, got %q", val)
+			}
+		case "mem":
+			c.Mem = val == "1"
 			if val != "0" && val != "1" {
 				err = fmt.Errorf("want 0 or 1, got %q", val)
 			}
@@ -163,6 +175,7 @@ var kindsByName = map[string]FaultKind{
 	"delay": DelaySpike,
 	"part":  Partition,
 	"crash": Crash,
+	"churn": Churn,
 }
 
 // parseFault decodes one fault token per the grammar above.

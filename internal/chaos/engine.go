@@ -74,6 +74,15 @@ func (e *engine) install(c Campaign) error {
 				e.svc.Crash(f.Target)
 			})
 			e.svc.Sim.At(f.At+f.Dur, func() { e.svc.Restart(f.Target) })
+		case Churn:
+			// Voluntary departure and rejoin. With membership enabled the
+			// departure is announced and the rejoin is a fresh incarnation;
+			// without it, Leave/Rejoin degrade to Crash/Restart.
+			e.svc.Sim.At(f.At, func() {
+				e.sink.activated(Churn)
+				e.svc.Leave(f.Target)
+			})
+			e.svc.Sim.At(f.At+f.Dur, func() { e.svc.Rejoin(f.Target) })
 		case StopClock, RaceClock, StickClock:
 			// Armed inside the clock wrappers at build time; counted as
 			// armed here (the wrapper fires without a simulator event).

@@ -131,6 +131,9 @@ func DefaultConfig() *Config {
 			// Metrics snapshots and span logs are byte-deterministic
 			// under fixed seeds (sorted enumeration is the mechanism).
 			"disttime/internal/obs",
+			// Roster digests, gossip payloads, and detector verdicts feed
+			// deterministic timelines; sorted iteration is the contract.
+			"disttime/internal/member",
 			"disttime/cmd",
 			// Fixtures exercising the analyzer itself.
 			"disttime/internal/lint/testdata",

@@ -1,0 +1,462 @@
+package member
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+func TestSupersedesPrecedence(t *testing.T) {
+	base := Entry[int]{ID: 1, Gen: 2, Seq: 5, Status: Alive}
+	cases := []struct {
+		name string
+		a    Entry[int]
+		want bool
+	}{
+		{"higher gen wins", Entry[int]{ID: 1, Gen: 3, Seq: 0, Status: Alive}, true},
+		{"lower gen loses", Entry[int]{ID: 1, Gen: 1, Seq: 99, Status: Evicted}, false},
+		{"higher seq wins", Entry[int]{ID: 1, Gen: 2, Seq: 6, Status: Alive}, true},
+		{"lower seq loses", Entry[int]{ID: 1, Gen: 2, Seq: 4, Status: Evicted}, false},
+		{"same gen/seq worse status wins", Entry[int]{ID: 1, Gen: 2, Seq: 5, Status: Suspect}, true},
+		{"identical does not supersede", base, false},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Supersedes(base); got != tc.want {
+			t.Errorf("%s: Supersedes = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSupersedesStrictOrder: merging is commutative — for any pair, at
+// most one direction supersedes, so gossip converges independent of
+// delivery order.
+func TestSupersedesStrictOrder(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		a := Entry[int]{ID: 1, Gen: uint64(rng.IntN(3)), Seq: uint64(rng.IntN(3)),
+			Status: Status(1 + rng.IntN(4))}
+		b := Entry[int]{ID: 1, Gen: uint64(rng.IntN(3)), Seq: uint64(rng.IntN(3)),
+			Status: Status(1 + rng.IntN(4))}
+		if a.Supersedes(b) && b.Supersedes(a) {
+			t.Fatalf("both directions supersede: %+v vs %+v", a, b)
+		}
+		if a.Supersedes(a) {
+			t.Fatalf("entry supersedes itself: %+v", a)
+		}
+	}
+}
+
+func TestRosterLifecycle(t *testing.T) {
+	r := New(0, 1, 1e-4)
+	if r.Len() != 1 || r.AliveCount() != 1 {
+		t.Fatalf("fresh roster: len %d alive %d", r.Len(), r.AliveCount())
+	}
+	v0 := r.Version()
+
+	// A new member joins via gossip.
+	ch, changed := r.Upsert(Entry[int]{ID: 2, Gen: 1, Seq: 1, Status: Alive, E: 0.5})
+	if !changed || !ch.Joined || ch.To != Alive {
+		t.Fatalf("join: %+v changed=%v", ch, changed)
+	}
+	if r.Version() == v0 {
+		t.Fatal("version did not bump on join")
+	}
+
+	// Stale observation is ignored.
+	if _, changed := r.Upsert(Entry[int]{ID: 2, Gen: 1, Seq: 0, Status: Evicted}); changed {
+		t.Fatal("stale observation merged")
+	}
+
+	// A fresher heartbeat refreshes quality.
+	if _, changed := r.Upsert(Entry[int]{ID: 2, Gen: 1, Seq: 2, Status: Alive, E: 0.1}); !changed {
+		t.Fatal("fresh heartbeat ignored")
+	}
+	if e, _ := r.Get(2); e.E != 0.1 {
+		t.Fatalf("quality not refreshed: %+v", e)
+	}
+
+	// Accusation at the known (gen, seq) sticks...
+	ch, changed = r.Accuse(2, Suspect)
+	if !changed || ch.From != Alive || ch.To != Suspect {
+		t.Fatalf("accuse: %+v changed=%v", ch, changed)
+	}
+	// ...is idempotent...
+	if _, changed := r.Accuse(2, Suspect); changed {
+		t.Fatal("re-accusation changed the roster")
+	}
+	// ...escalates...
+	if ch, changed = r.Accuse(2, Evicted); !changed || ch.To != Evicted {
+		t.Fatalf("escalation: %+v changed=%v", ch, changed)
+	}
+	// ...and loses to the member's next heartbeat.
+	if _, changed := r.Upsert(Entry[int]{ID: 2, Gen: 1, Seq: 3, Status: Alive}); !changed {
+		t.Fatal("reinstating heartbeat lost to accusation")
+	}
+	if e, _ := r.Get(2); e.Status != Alive {
+		t.Fatalf("member not reinstated: %+v", e)
+	}
+
+	// The owner can never be accused locally.
+	if _, changed := r.Accuse(0, Evicted); changed {
+		t.Fatal("owner accused itself")
+	}
+
+	// Voluntary departure cannot be overridden by an accusation.
+	r.Upsert(Entry[int]{ID: 2, Gen: 1, Seq: 4, Status: Left})
+	if _, changed := r.Accuse(2, Evicted); changed {
+		t.Fatal("accusation overrode a voluntary departure")
+	}
+}
+
+func TestRosterSelfTransitions(t *testing.T) {
+	r := New("a", 7, 1e-4)
+	adv := r.Advertise(100, 0.05)
+	if adv.Seq != 1 || adv.Status != Alive || adv.C != 100 || adv.E != 0.05 {
+		t.Fatalf("advertise: %+v", adv)
+	}
+	left := r.Leave()
+	if left.Seq != 2 || left.Status != Left {
+		t.Fatalf("leave: %+v", left)
+	}
+	if !left.Supersedes(adv) {
+		t.Fatal("leave does not supersede the preceding advertisement")
+	}
+	re := r.Rejoin(200, 0.9)
+	if re.Gen != 8 || re.Seq != 0 || re.Status != Alive {
+		t.Fatalf("rejoin: %+v", re)
+	}
+	if !re.Supersedes(left) {
+		t.Fatal("rejoin does not supersede the departure")
+	}
+	// A remote eviction of the previous incarnation loses to the rejoin.
+	evict := Entry[string]{ID: "a", Gen: 7, Seq: 9, Status: Evicted}
+	if evict.Supersedes(re) {
+		t.Fatal("stale eviction supersedes the new incarnation")
+	}
+}
+
+func TestRosterMembersSorted(t *testing.T) {
+	r := New(5, 1, 0)
+	for _, id := range []int{9, 3, 7, 1} {
+		r.Upsert(Entry[int]{ID: id, Gen: 1, Seq: 1, Status: Alive})
+	}
+	var got []int
+	for _, e := range r.Members() {
+		got = append(got, e.ID)
+	}
+	want := []int{1, 3, 5, 7, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Members order %v, want %v", got, want)
+	}
+}
+
+func TestDigestRotationCoversRoster(t *testing.T) {
+	r := New(0, 1, 0)
+	for id := 1; id <= 9; id++ {
+		r.Upsert(Entry[int]{ID: id, Gen: 1, Seq: 1, Status: Alive})
+	}
+	seen := map[int]bool{}
+	for round := 0; round < 12; round++ {
+		r.Advertise(0, 0)
+		d := r.Digest(nil, 4)
+		if len(d) != 4 {
+			t.Fatalf("digest size %d, want 4", len(d))
+		}
+		if d[0].ID != 0 {
+			t.Fatalf("digest does not lead with self: %+v", d[0])
+		}
+		for _, e := range d[1:] {
+			seen[e.ID] = true
+		}
+	}
+	for id := 1; id <= 9; id++ {
+		if !seen[id] {
+			t.Fatalf("rotation never gossiped member %d (seen %v)", id, seen)
+		}
+	}
+	// Degenerate sizes.
+	if d := r.Digest(nil, 0); d != nil {
+		t.Fatalf("max=0 digest non-empty: %v", d)
+	}
+	if d := r.Digest(nil, 1); len(d) != 1 || d[0].ID != 0 {
+		t.Fatalf("max=1 digest: %v", d)
+	}
+}
+
+func TestDetectorConfigValidation(t *testing.T) {
+	bad := []DetectorConfig{
+		{Period: 0},
+		{Period: 1, LocalDelta: -0.1},
+		{Period: 1, RemoteDelta: 1},
+		{Period: 1, Xi: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewDetector[int](cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := NewDetector[int](DetectorConfig{Period: 1}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestDetectorNoFalseSuspicionAtClaimedDrift is the failure-detector
+// soundness property: a correct server whose clock drifts at exactly
+// the claimed bound — observed on a local clock that itself drifts at
+// exactly its claimed bound, across a network that uses its full delay
+// bound adversarially — is never suspected, for randomized parameter
+// draws.
+func TestDetectorNoFalseSuspicionAtClaimedDrift(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 99))
+	for trial := 0; trial < 300; trial++ {
+		period := 0.5 + rng.Float64()*63.5
+		localDelta := rng.Float64() * 1e-2
+		remoteDelta := rng.Float64() * 1e-2
+		xi := rng.Float64() * 0.2
+		misses := 1 + rng.IntN(4)
+		cfg := DetectorConfig{
+			Period: period, Misses: misses,
+			LocalDelta: localDelta, RemoteDelta: remoteDelta, Xi: xi,
+		}
+		d, err := NewDetector[int](cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The sender's clock runs slow at exactly (1-remoteDelta): its
+		// heartbeats land every period/(1-remoteDelta) real seconds.
+		// The observer's clock runs fast at exactly (1+localDelta).
+		// Adversarial jitter: the first arrival is instant, every
+		// later one maximally delayed by xi (in real seconds; charging
+		// the full xi on the local clock is strictly worse than
+		// reality, and the deadline still must hold).
+		realStep := period / (1 - remoteDelta)
+		arrivalLocal := func(k int) float64 {
+			real := float64(k) * realStep
+			if k > 0 {
+				real += xi // worst-case jitter vs. heartbeat 0
+			}
+			return real * (1 + localDelta)
+		}
+		d.Observe(1, arrivalLocal(0))
+		for k := 1; k < 8; k++ {
+			// Check just before the k-th heartbeat lands (a hair under
+			// the exact arrival instant: at k == misses the silence
+			// equals the deadline to within float rounding, and the
+			// deadline is exclusive).
+			if v := d.Check(arrivalLocal(k) - 1e-6); len(v) > 0 && k <= misses {
+				t.Fatalf("trial %d: correct server suspected after %d periods: %+v (cfg %+v)",
+					trial, k, v, cfg)
+			}
+			d.Observe(1, arrivalLocal(k))
+		}
+		// After the catch-up observation there must be no standing verdict.
+		if v := d.Check(arrivalLocal(7) + 0.001); len(v) != 0 {
+			t.Fatalf("trial %d: verdict after fresh observation: %+v", trial, v)
+		}
+	}
+}
+
+// TestDetectorEvictsStoppedClockWithinBound is the completeness
+// property: a server that stops heartbeating (stopped clock, dead
+// process) is suspected once its silence exceeds SuspectAfter and
+// evicted once it exceeds EvictAfter — and not a check earlier.
+func TestDetectorEvictsStoppedClockWithinBound(t *testing.T) {
+	cfg := DetectorConfig{Period: 10, Misses: 3, LocalDelta: 1e-4, RemoteDelta: 1e-4, Xi: 0.1}
+	d, err := NewDetector[int](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(7, 100)
+	suspectAt := 100 + cfg.SuspectAfter()
+	evictAt := 100 + cfg.EvictAfter()
+
+	if v := d.Check(suspectAt - 1e-9); len(v) != 0 {
+		t.Fatalf("suspected before the bound: %+v", v)
+	}
+	v := d.Check(suspectAt + 0.01)
+	if len(v) != 1 || v[0].ID != 7 || v[0].Status != Suspect {
+		t.Fatalf("want one Suspect verdict, got %+v", v)
+	}
+	// Edge-triggered: no re-report while still only suspect.
+	if v := d.Check(suspectAt + 1); len(v) != 0 {
+		t.Fatalf("suspect re-reported: %+v", v)
+	}
+	v = d.Check(evictAt + 0.01)
+	if len(v) != 1 || v[0].Status != Evicted {
+		t.Fatalf("want one Evicted verdict, got %+v", v)
+	}
+	if v[0].Silence <= 0 {
+		t.Fatalf("verdict silence %v not positive", v[0].Silence)
+	}
+	// Still edge-triggered at the terminal stage.
+	if v := d.Check(evictAt + 100); len(v) != 0 {
+		t.Fatalf("eviction re-reported: %+v", v)
+	}
+	// Forget clears state; the next incarnation starts fresh.
+	d.Forget(7)
+	if _, ok := d.LastHeard(7); ok {
+		t.Fatal("Forget kept timing state")
+	}
+}
+
+// TestDetectorSilentPastSuspectStraightToEvict: a long scheduling gap
+// can carry a member past both deadlines between checks; the detector
+// must then report the eviction (not silently skip it because the
+// suspect stage was never observed).
+func TestDetectorSkipsToEviction(t *testing.T) {
+	cfg := DetectorConfig{Period: 1, Misses: 1}
+	d, err := NewDetector[int](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(3, 0)
+	v := d.Check(1000)
+	if len(v) != 1 || v[0].Status != Evicted {
+		t.Fatalf("want straight-to-Evicted, got %+v", v)
+	}
+}
+
+// TestDetectorVerdictOrderDeterministic: verdicts come out in ID order
+// regardless of observation order.
+func TestDetectorVerdictOrderDeterministic(t *testing.T) {
+	cfg := DetectorConfig{Period: 1, Misses: 1}
+	d, _ := NewDetector[int](cfg)
+	for _, id := range []int{5, 1, 9, 3} {
+		d.Observe(id, 0)
+	}
+	v := d.Check(100)
+	var got []int
+	for _, verdict := range v {
+		got = append(got, verdict.ID)
+	}
+	if want := []int{1, 3, 5, 9}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("verdict order %v, want %v", got, want)
+	}
+}
+
+func TestSelectRanksByAdvertisedError(t *testing.T) {
+	r := New(0, 1, 0)
+	r.Upsert(Entry[int]{ID: 1, Gen: 1, Seq: 1, Status: Alive, E: 0.3})
+	r.Upsert(Entry[int]{ID: 2, Gen: 1, Seq: 1, Status: Alive, E: 0.1})
+	r.Upsert(Entry[int]{ID: 3, Gen: 1, Seq: 1, Status: Alive, E: 0.2})
+	r.Upsert(Entry[int]{ID: 4, Gen: 1, Seq: 1, Status: Alive, E: 0.1}) // ties with 2, higher ID
+	got := Select(r, SelectConfig[int]{K: 3})
+	if want := []int{2, 4, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Select = %v, want %v", got, want)
+	}
+}
+
+func TestSelectExploresUnpreferred(t *testing.T) {
+	r := New(0, 1, 0)
+	r.Upsert(Entry[int]{ID: 1, Gen: 1, Seq: 1, Status: Alive, E: 0.1})
+	r.Upsert(Entry[int]{ID: 2, Gen: 1, Seq: 1, Status: Alive, E: 0.2})
+	r.Upsert(Entry[int]{ID: 3, Gen: 1, Seq: 1, Status: Evicted, E: 0.05})
+	r.Upsert(Entry[int]{ID: 4, Gen: 1, Seq: 1, Status: Left, E: 0.01})
+
+	// Without exploration: only the live members, never Left/Evicted.
+	got := Select(r, SelectConfig[int]{K: 3})
+	if want := []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Select = %v, want %v", got, want)
+	}
+
+	// With exploration: the evicted (recovering) member is reachable;
+	// the departed one never is.
+	rng := rand.New(rand.NewPCG(3, 3))
+	explored := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		ids := Select(r, SelectConfig[int]{K: 1, Explore: rng.IntN})
+		if len(ids) != 2 || ids[0] != 1 {
+			t.Fatalf("Select = %v, want rank pick 1 plus exploration", ids)
+		}
+		explored[ids[1]] = true
+	}
+	if !explored[3] {
+		t.Fatal("exploration never picked the evicted member")
+	}
+	if !explored[2] {
+		t.Fatal("exploration never picked the below-K live member")
+	}
+	if explored[4] {
+		t.Fatal("exploration picked a voluntarily-departed member")
+	}
+	if explored[0] {
+		t.Fatal("exploration picked the owner")
+	}
+}
+
+func TestSelectDefaultsAndEmpty(t *testing.T) {
+	r := New(0, 1, 0)
+	if got := Select(r, SelectConfig[int]{}); len(got) != 0 {
+		t.Fatalf("empty roster selected %v", got)
+	}
+	for id := 1; id <= 5; id++ {
+		r.Upsert(Entry[int]{ID: id, Gen: 1, Seq: 1, Status: Alive, E: float64(id)})
+	}
+	if got := Select(r, SelectConfig[int]{}); len(got) != 3 { // default K
+		t.Fatalf("default K selected %v", got)
+	}
+	// Exploration with everything preferred: no extra pick.
+	r2 := New(0, 1, 0)
+	r2.Upsert(Entry[int]{ID: 1, Gen: 1, Seq: 1, Status: Alive})
+	got := Select(r2, SelectConfig[int]{K: 3, Explore: func(int) int { return 0 }})
+	if want := []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Select = %v, want %v", got, want)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		Alive: "alive", Suspect: "suspect", Left: "left", Evicted: "evicted",
+		Status(0): "none", Status(99): "status(99)",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}
+
+// TestGossipConvergenceOrderIndependent: merging the same set of
+// observations in any order converges every roster to the same state.
+func TestGossipConvergenceOrderIndependent(t *testing.T) {
+	// A pile of observations about three members, including conflicts.
+	obs := []Entry[int]{
+		{ID: 1, Gen: 1, Seq: 1, Status: Alive, E: 0.5},
+		{ID: 1, Gen: 1, Seq: 3, Status: Alive, E: 0.2},
+		{ID: 1, Gen: 1, Seq: 3, Status: Suspect, E: 0.2},
+		{ID: 2, Gen: 1, Seq: 9, Status: Left},
+		{ID: 2, Gen: 2, Seq: 0, Status: Alive, E: 1.0},
+		{ID: 3, Gen: 1, Seq: 4, Status: Evicted},
+		{ID: 3, Gen: 1, Seq: 5, Status: Alive, E: 0.7},
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	var want []Entry[int]
+	for trial := 0; trial < 64; trial++ {
+		perm := rng.Perm(len(obs))
+		r := New(0, 1, 0)
+		for _, idx := range perm {
+			r.Upsert(obs[idx])
+		}
+		got := r.Members()
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("order-dependent convergence:\n got %+v\nwant %+v", got, want)
+		}
+	}
+	// And the converged state is the per-member maximum.
+	r := New(0, 1, 0)
+	for _, e := range obs {
+		r.Upsert(e)
+	}
+	if e, _ := r.Get(1); e.Seq != 3 || e.Status != Suspect {
+		t.Fatalf("member 1 converged to %+v", e)
+	}
+	if e, _ := r.Get(2); e.Gen != 2 || e.Status != Alive {
+		t.Fatalf("member 2 converged to %+v", e)
+	}
+	if e, _ := r.Get(3); e.Seq != 5 || e.Status != Alive {
+		t.Fatalf("member 3 converged to %+v", e)
+	}
+}

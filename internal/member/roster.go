@@ -1,0 +1,208 @@
+package member
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Change describes one roster transition produced by a merge or a local
+// accusation, for timelines and metrics.
+type Change[ID cmp.Ordered] struct {
+	// ID is the member whose row changed.
+	ID ID
+	// From is the previous status (zero when the member was unknown).
+	From Status
+	// To is the new status.
+	To Status
+	// Gen is the generation the new observation carries.
+	Gen uint64
+	// Joined reports that the member was previously unknown.
+	Joined bool
+}
+
+// Roster is one server's membership view: a set of entries merged under
+// the Supersedes precedence, with deterministic sorted iteration and a
+// version counter that bumps on every material change. The zero value
+// is unusable; construct with New.
+//
+// A Roster is not safe for concurrent use; the simulated substrate is
+// single-threaded and the UDP substrate guards it with its own mutex.
+type Roster[ID cmp.Ordered] struct {
+	self    ID
+	entries map[ID]Entry[ID]
+	order   []ID // sorted cache of entry IDs, rebuilt on add/remove
+	version uint64
+}
+
+// New returns a roster whose only member is self, alive at generation
+// gen with sequence zero.
+func New[ID cmp.Ordered](self ID, gen uint64, delta float64) *Roster[ID] {
+	r := &Roster[ID]{
+		self:    self,
+		entries: make(map[ID]Entry[ID]),
+	}
+	r.entries[self] = Entry[ID]{ID: self, Gen: gen, Status: Alive, Delta: delta}
+	r.rebuildOrder()
+	return r
+}
+
+// SelfID returns the roster owner's ID.
+func (r *Roster[ID]) SelfID() ID { return r.self }
+
+// Self returns the owner's current entry.
+func (r *Roster[ID]) Self() Entry[ID] { return r.entries[r.self] }
+
+// Version returns a counter that bumps on every material change; equal
+// versions imply an unchanged roster, so pollers can skip work.
+func (r *Roster[ID]) Version() uint64 { return r.version }
+
+// Len returns the number of known members, including the owner and
+// departed ones.
+func (r *Roster[ID]) Len() int { return len(r.entries) }
+
+// AliveCount returns how many known members are currently Alive.
+func (r *Roster[ID]) AliveCount() int {
+	n := 0
+	for _, id := range r.order {
+		if r.entries[id].Status == Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the entry for id.
+func (r *Roster[ID]) Get(id ID) (Entry[ID], bool) {
+	e, ok := r.entries[id]
+	return e, ok
+}
+
+// rebuildOrder refreshes the sorted iteration cache. Iterating the
+// sorted cache — never the map — is what keeps every roster consumer
+// (gossip digests, selection, timelines) byte-deterministic.
+func (r *Roster[ID]) rebuildOrder() {
+	ids := r.order[:0]
+	for id := range r.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	r.order = ids
+}
+
+// AppendMembers appends every entry in increasing ID order to dst and
+// returns the extended slice (allocation-free when dst has capacity).
+func (r *Roster[ID]) AppendMembers(dst []Entry[ID]) []Entry[ID] {
+	for _, id := range r.order {
+		dst = append(dst, r.entries[id])
+	}
+	return dst
+}
+
+// Members returns every entry in increasing ID order.
+func (r *Roster[ID]) Members() []Entry[ID] {
+	return r.AppendMembers(make([]Entry[ID], 0, len(r.entries)))
+}
+
+// Advertise bumps the owner's heartbeat sequence, refreshes its
+// advertised <C, E> quality, marks it Alive, and returns the new self
+// entry — the payload of the next outgoing gossip message.
+func (r *Roster[ID]) Advertise(c, e float64) Entry[ID] {
+	s := r.entries[r.self]
+	s.Seq++
+	s.Status = Alive
+	s.C, s.E = c, e
+	r.entries[r.self] = s
+	r.version++
+	return s
+}
+
+// Leave marks the owner as voluntarily departed at a fresh sequence and
+// returns the entry to announce. The departure supersedes any
+// in-flight advertisement of the same generation.
+func (r *Roster[ID]) Leave() Entry[ID] {
+	s := r.entries[r.self]
+	s.Seq++
+	s.Status = Left
+	r.entries[r.self] = s
+	r.version++
+	return s
+}
+
+// Rejoin starts the owner's next incarnation: the generation bumps (so
+// the fresh advertisement supersedes every observation from the
+// previous life, including an eviction), the sequence resets, and the
+// advertised quality is refreshed.
+func (r *Roster[ID]) Rejoin(c, e float64) Entry[ID] {
+	s := r.entries[r.self]
+	s.Gen++
+	s.Seq = 0
+	s.Status = Alive
+	s.C, s.E = c, e
+	r.entries[r.self] = s
+	r.version++
+	return s
+}
+
+// Upsert merges one observed entry under the Supersedes precedence.
+// It reports the transition (valid only when changed is true). Stale
+// observations — including stale observations about the owner itself —
+// are ignored; a fresher claim about the owner (e.g. an eviction
+// accusation that won) is adopted like any other entry, and the owner
+// notices via the returned change and can Rejoin.
+func (r *Roster[ID]) Upsert(e Entry[ID]) (ch Change[ID], changed bool) {
+	old, known := r.entries[e.ID]
+	if known && !e.Supersedes(old) {
+		return Change[ID]{}, false
+	}
+	r.entries[e.ID] = e
+	if !known {
+		r.rebuildOrder()
+	}
+	r.version++
+	return Change[ID]{ID: e.ID, From: old.Status, To: e.Status, Gen: e.Gen, Joined: !known}, true
+}
+
+// Accuse records a local failure-detector verdict about id at the
+// member's currently-known (Gen, Seq): Suspect or Evicted. The
+// accusation loses to any newer advertisement, so a member that was
+// merely slow reinstates itself the moment it is heard again.
+func (r *Roster[ID]) Accuse(id ID, verdict Status) (ch Change[ID], changed bool) {
+	old, known := r.entries[id]
+	if !known || id == r.self {
+		return Change[ID]{}, false
+	}
+	if verdict <= old.Status || old.Status == Left {
+		// Already at or past the verdict, or voluntarily gone.
+		return Change[ID]{}, false
+	}
+	e := old
+	e.Status = verdict
+	r.entries[id] = e
+	r.version++
+	return Change[ID]{ID: id, From: old.Status, To: verdict, Gen: e.Gen}, true
+}
+
+// Digest appends up to max entries of the roster to dst for an outgoing
+// gossip message: the owner's entry first, then the remaining members
+// in a rotation that advances with the owner's heartbeat sequence, so
+// successive digests cover the whole roster even when max is small.
+func (r *Roster[ID]) Digest(dst []Entry[ID], max int) []Entry[ID] {
+	if max <= 0 {
+		return dst
+	}
+	self := r.entries[r.self]
+	dst = append(dst, self)
+	if len(r.order) <= 1 || max == 1 {
+		return dst
+	}
+	// Rotate the start point by the heartbeat sequence.
+	start := int(self.Seq % uint64(len(r.order)))
+	for k := 0; k < len(r.order) && len(dst) < max; k++ {
+		id := r.order[(start+k)%len(r.order)]
+		if id == r.self {
+			continue
+		}
+		dst = append(dst, r.entries[id])
+	}
+	return dst
+}

@@ -1,0 +1,82 @@
+package member
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Selection policy: each synchronization round a server polls the K
+// live members with the smallest advertised maximum error — the
+// paper's MM idea ("adopt the neighbor with smaller maximum error")
+// lifted from reply processing to topology — plus one seeded-random
+// exploration slot drawn from the members *not* currently preferred
+// (suspects, evictees awaiting rejoin, and live members ranked below
+// K). The exploration slot is what re-discovers a recovering server:
+// its advertised error is huge right after a restart, so quality
+// ranking alone would never poll it again, and without being polled it
+// can never advertise a better bound.
+
+// SelectConfig tunes Select.
+type SelectConfig[ID cmp.Ordered] struct {
+	// K is how many quality-ranked live members to pick; defaults to 3.
+	K int
+	// Explore, when non-nil, supplies the exploration draw: called with
+	// the number of unpreferred candidates n > 0, it must return an
+	// index in [0, n). Inject a seeded rand.IntN for determinism; nil
+	// disables exploration.
+	Explore func(n int) int
+	// Eligible, when non-nil, filters candidates before ranking: only
+	// members it accepts are considered at all. The simulated substrate
+	// injects link reachability here (selecting an unreachable member
+	// wastes both the poll slot and the exploration draw); nil accepts
+	// every member.
+	Eligible func(id ID) bool
+}
+
+// Select returns the IDs to poll this round from the roster's view:
+// up to K live members ranked by advertised E (ties broken by ID), plus
+// at most one exploration pick from the remaining known members. The
+// owner itself and voluntarily-departed members are never selected.
+// The result is in ranked order with the exploration pick last.
+func Select[ID cmp.Ordered](r *Roster[ID], cfg SelectConfig[ID]) []ID {
+	if cfg.K <= 0 {
+		cfg.K = 3
+	}
+	ranked := make([]Entry[ID], 0, r.Len())
+	var rest []ID
+	for _, e := range r.Members() {
+		if e.ID == r.SelfID() || e.Status == Left {
+			continue
+		}
+		if cfg.Eligible != nil && !cfg.Eligible(e.ID) {
+			continue
+		}
+		if e.Status == Alive {
+			ranked = append(ranked, e)
+		} else {
+			rest = append(rest, e.ID)
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].E < ranked[j].E {
+			return true
+		}
+		if ranked[j].E < ranked[i].E {
+			return false
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	out := make([]ID, 0, cfg.K+1)
+	for i := 0; i < len(ranked) && i < cfg.K; i++ {
+		out = append(out, ranked[i].ID)
+	}
+	// Unpreferred pool: suspects and evictees first (rest), then live
+	// members ranked below K.
+	for i := cfg.K; i < len(ranked); i++ {
+		rest = append(rest, ranked[i].ID)
+	}
+	if cfg.Explore != nil && len(rest) > 0 {
+		out = append(out, rest[cfg.Explore(len(rest))])
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"math"
 
+	"disttime/internal/member"
 	"disttime/internal/obs"
 )
 
@@ -26,6 +27,40 @@ func ruleName(fn string) string {
 	default:
 		return fn
 	}
+}
+
+// gossipEntryBounds buckets the per-message roster entry counts
+// (digests are capped by MemberConfig.DigestMax, typically single
+// digits).
+var gossipEntryBounds = []float64{1, 2, 4, 8, 16, 32}
+
+// memberMetrics holds the resolved metric handles for the membership
+// sink: gossip traffic histograms, the roster-size gauge, and the
+// eviction counters (including the false evictions the detector's
+// soundness bound promises never happen).
+type memberMetrics struct {
+	msgs        *obs.Counter
+	entriesSent *obs.Histogram
+	entriesRecv *obs.Histogram
+	alive       *obs.Gauge
+	evictions   *obs.Counter
+	falseEvicts *obs.Counter
+	churn       *obs.Counter
+}
+
+// sent records one outgoing gossip message carrying n roster entries.
+func (m *memberMetrics) sent(n int) {
+	m.msgs.Inc()
+	m.entriesSent.Observe(float64(n))
+}
+
+// received records one merged gossip message of n entries and the
+// receiver's resulting alive count (the membership-size gauge tracks
+// the most recent merge anywhere in the service; under convergence all
+// rosters agree, so any receiver is representative).
+func (m *memberMetrics) received(n, aliveCount int) {
+	m.entriesRecv.Observe(float64(n))
+	m.alive.Set(float64(aliveCount))
 }
 
 // syncMetrics holds the resolved metric handles for the per-pass sink,
@@ -62,6 +97,30 @@ func (svc *Service) Observe(reg *obs.Registry, tr *obs.Tracer) {
 		}
 		svc.Sim.Observe(reg)
 		svc.Net.Observe(reg)
+		if svc.MembershipEnabled() {
+			svc.memMetrics = &memberMetrics{
+				msgs:        reg.Counter("member_gossip_messages_total"),
+				entriesSent: reg.Histogram("member_gossip_entries_sent", gossipEntryBounds),
+				entriesRecv: reg.Histogram("member_gossip_entries_received", gossipEntryBounds),
+				alive:       reg.Gauge("member_alive_servers"),
+				evictions:   reg.Counter("member_evictions_total"),
+				falseEvicts: reg.Counter("member_false_evictions_total"),
+				churn:       reg.Counter("member_churn_events_total"),
+			}
+			svc.memMetrics.alive.Set(float64(len(svc.Nodes)))
+			mm := svc.memMetrics
+			svc.AddMemberChange(func(e MemberEvent) {
+				if e.To == member.Evicted && e.Subject != e.Observer {
+					mm.evictions.Inc()
+					if e.FalseEviction {
+						mm.falseEvicts.Inc()
+					}
+				}
+				if e.Subject == e.Observer {
+					mm.churn.Inc() // self transitions: leave, rejoin, restart
+				}
+			})
+		}
 	}
 	if reg == nil && tr == nil {
 		return

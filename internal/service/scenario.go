@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"disttime/internal/core"
+	"disttime/internal/member"
 	"disttime/internal/simnet"
 )
 
@@ -96,6 +97,10 @@ func (svc *Service) Crash(i int) {
 		n.stopSync()
 		n.stopSync = nil
 	}
+	if n.stopGossip != nil {
+		n.stopGossip()
+		n.stopGossip = nil
+	}
 	svc.Net.SetHandler(n.NetID, nil)
 }
 
@@ -108,7 +113,22 @@ func (svc *Service) Restart(i int) {
 		return
 	}
 	n.crashed = false
+	if n.departed {
+		return // still voluntarily departed; only Rejoin revives it
+	}
 	svc.Net.SetHandler(n.NetID, n.handle)
+	if n.roster != nil {
+		// A restart is a new incarnation: the fresh advertisement must
+		// supersede whatever the survivors recorded about the old life
+		// (typically an eviction).
+		r := n.Server.Reading(svc.Sim.Now())
+		reborn := n.roster.Rejoin(r.C, r.E)
+		n.emitMember(svc.Sim.Now(), member.Change[int]{
+			ID: i, From: member.Evicted, To: reborn.Status, Gen: reborn.Gen,
+		})
+		n.resumeMembership()
+		defer n.pushDigest() // announce after sync resumes
+	}
 	if period := n.Spec.SyncEvery; period > 0 {
 		n.stopSync = svc.Sim.Every(period, n.startRound)
 	}

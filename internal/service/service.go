@@ -16,6 +16,7 @@ import (
 	"disttime/internal/clock"
 	"disttime/internal/core"
 	"disttime/internal/interval"
+	"disttime/internal/member"
 	"disttime/internal/sim"
 	"disttime/internal/simnet"
 )
@@ -114,6 +115,12 @@ type Config struct {
 	// its period, as unsynchronized servers would be. Defaults true via
 	// NewService; set NoStagger to disable for lockstep experiments.
 	NoStagger bool
+	// Members, when non-nil, enables dynamic membership: every server
+	// keeps a roster, gossips digests carrying its advertised <C, E>
+	// quality, detects failures under drift-widened deadlines, and polls
+	// the best-ranked live members instead of broadcasting (see
+	// MemberConfig).
+	Members *MemberConfig
 }
 
 // Node is one running server: protocol state machine plus its network
@@ -135,6 +142,12 @@ type Node struct {
 	stopSync       func()
 	neighborDeltas map[int]float64
 
+	// Dynamic membership state (nil/zero when Config.Members is unset).
+	roster     *member.Roster[int]
+	detector   *member.Detector[int]
+	stopGossip func()
+	departed   bool
+
 	// Counters for experiment reporting.
 	Syncs          int
 	Resets         int
@@ -142,6 +155,7 @@ type Node struct {
 	FailedRecovery int
 	RateFiltered   int
 	DeltaRaises    int
+	Evictions      int // members this node's detector evicted
 }
 
 // collection is one in-flight request round. Collections are recycled on a
@@ -175,6 +189,12 @@ type Service struct {
 	onSync       func(node int, t float64, res core.Result)
 	onSyncDetail func(SyncObservation)
 	replyFree    []*timeReply // recycled reply payloads
+
+	// Dynamic membership (nil when Config.Members is unset).
+	memberCfg  *MemberConfig
+	onMember   func(MemberEvent)
+	gossipFree []*gossipMsg   // recycled gossip payloads
+	memMetrics *memberMetrics // obs wiring, set by Observe
 }
 
 type timeRequest struct {
@@ -292,6 +312,12 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 
+	if cfg.Members != nil {
+		if err := svc.initMembership(); err != nil {
+			return nil, err
+		}
+	}
+
 	// Schedule periodic synchronization.
 	for _, node := range svc.Nodes {
 		node := node
@@ -335,6 +361,10 @@ func (n *Node) handle(m simnet.Message) {
 		return // a crashed server neither answers nor collects
 	}
 	now := n.svc.Sim.Now()
+	if n.roster != nil {
+		// Any protocol message is direct evidence the sender is serving.
+		n.detector.Observe(int(m.From), n.Server.Read(now))
+	}
 	switch p := m.Payload.(type) {
 	case timeRequest:
 		// Rule MM-1: answer with the current reading.
@@ -362,6 +392,11 @@ func (n *Node) handle(m simnet.Message) {
 			RTT:    local - n.collect.sentLocal,
 		})
 		n.neighborDeltas[int(m.From)] = reading.Delta
+	case *gossipMsg:
+		if n.roster == nil {
+			return
+		}
+		n.handleGossip(m.From, p, now)
 	}
 }
 
@@ -385,7 +420,24 @@ func (n *Node) startRound() {
 	col.id = n.reqSeq
 	col.sentLocal = n.Server.Read(now)
 	n.collect = col
-	if n.svc.Net.Broadcast(n.NetID, timeRequest{id: n.reqSeq}) == 0 {
+	sent := 0
+	if n.roster != nil && !n.svc.memberCfg.Broadcast {
+		// Roster-driven polling: the K live members with the smallest
+		// advertised error, plus the exploration slot. Requests to
+		// unreachable members are dropped by the network.
+		req := timeRequest{id: n.reqSeq}
+		for _, id := range n.pollTargets() {
+			if id < 0 || id >= len(n.svc.Nodes) {
+				continue
+			}
+			if n.svc.Net.Send(n.NetID, n.svc.Nodes[id].NetID, req) {
+				sent++
+			}
+		}
+	} else {
+		sent = n.svc.Net.Broadcast(n.NetID, timeRequest{id: n.reqSeq})
+	}
+	if sent == 0 {
 		n.collect = nil
 		n.colFree = append(n.colFree, col)
 		return

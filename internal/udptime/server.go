@@ -26,6 +26,11 @@ type Server struct {
 	requests atomic.Uint64
 	errsSeen atomic.Uint64
 
+	// advertise, when non-nil, receives parsed membership heartbeats
+	// (wire.TypeAdvertise datagrams); without it they count as malformed,
+	// which is exactly how a pre-membership server treats them.
+	advertise func(from *net.UDPAddr, entries []wire.MemberEntry)
+
 	// Observability (see health.go). The obs handles are nil without a
 	// registry; obs methods are nil-safe, so the serve loop bumps them
 	// unconditionally.
@@ -46,6 +51,16 @@ type ServerOption interface {
 type serverLoggerOption struct{ logger *log.Logger }
 
 func (o serverLoggerOption) applyServer(s *Server) { s.logger = o.logger }
+
+// advertiseOption installs the membership dispatch: version-2 advertise
+// datagrams are handed to the handler instead of the request parser.
+// Internal — membership is enabled through PeerConfig.Seeds, not as a
+// standalone server option.
+type advertiseOption struct {
+	handler func(from *net.UDPAddr, entries []wire.MemberEntry)
+}
+
+func (o advertiseOption) applyServer(s *Server) { s.advertise = o.handler }
 
 // WithServerLogger routes malformed-datagram diagnostics to logger
 // (default: silent).
@@ -103,7 +118,7 @@ func (s *Server) Close() error {
 
 func (s *Server) serve() {
 	defer close(s.done)
-	buf := make([]byte, 512)
+	buf := make([]byte, 2048)
 	out := make([]byte, 0, wire.ResponseSize)
 	for {
 		n, peer, err := s.conn.ReadFromUDP(buf)
@@ -112,6 +127,19 @@ func (s *Server) serve() {
 				return
 			}
 			s.errsSeen.Add(1)
+			continue
+		}
+		if typ, ok := wire.PeekType(buf[:n]); ok && typ == wire.TypeAdvertise && s.advertise != nil {
+			_, entries, err := wire.ParseAdvertise(buf[:n])
+			if err != nil {
+				s.errsSeen.Add(1)
+				s.obsMalformed.Inc()
+				if s.logger != nil {
+					s.logger.Printf("udptime: bad advertise from %v: %v", peer, err)
+				}
+				continue
+			}
+			s.advertise(peer, entries)
 			continue
 		}
 		req, err := wire.ParseRequest(buf[:n])

@@ -21,8 +21,9 @@ type Syncer struct {
 	client  *Client
 	metrics syncerMetrics
 
-	stop chan struct{}
-	done chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 
 	mu     sync.Mutex
 	last   SyncReport
@@ -31,8 +32,16 @@ type Syncer struct {
 
 // SyncerConfig configures a Syncer.
 type SyncerConfig struct {
-	// Servers are the time-server addresses to poll. Required.
+	// Servers are the time-server addresses to poll. Required unless
+	// Targets is set.
 	Servers []string
+	// Targets, when non-nil, supplies the addresses to poll, consulted
+	// afresh at the start of every round — the hook roster-backed peers
+	// use to re-resolve their poll set as membership changes. When it
+	// returns an empty slice the round falls back to Servers; if both
+	// are empty the round fails (and the clock keeps deteriorating per
+	// its drift bound, as with any other round failure).
+	Targets func() []string
 	// Interval is the polling period (the paper's tau). Defaults to 64 s.
 	Interval time.Duration
 	// Timeout bounds each per-server query. Defaults to one second.
@@ -85,7 +94,7 @@ func NewSyncer(dc *DisciplinedClock, cfg SyncerConfig) (*Syncer, error) {
 	if dc == nil {
 		return nil, errors.New("udptime: nil disciplined clock")
 	}
-	if len(cfg.Servers) == 0 {
+	if len(cfg.Servers) == 0 && cfg.Targets == nil {
 		return nil, errors.New("udptime: syncer needs at least one server")
 	}
 	if cfg.Interval <= 0 {
@@ -134,10 +143,10 @@ func newSyncerMetrics(reg *obs.Registry) syncerMetrics {
 	}
 }
 
-// Stop halts the syncer and waits for its goroutine to exit. It is safe
-// to call once.
+// Stop halts the syncer and waits for its goroutine to exit. It is
+// idempotent.
 func (s *Syncer) Stop() {
-	close(s.stop)
+	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
 }
 
@@ -171,18 +180,32 @@ func (s *Syncer) run() {
 	}
 }
 
+// targets resolves this round's poll set: the dynamic hook when it
+// yields addresses, the static server list otherwise.
+func (s *Syncer) targets() []string {
+	if s.cfg.Targets != nil {
+		if t := s.cfg.Targets(); len(t) > 0 {
+			return t
+		}
+	}
+	return s.cfg.Servers
+}
+
 func (s *Syncer) round() {
 	var (
 		ms   []Measurement
 		qerr error
 	)
+	servers := s.targets()
 	if s.cfg.Burst > 1 {
-		ms, qerr = s.client.QueryManyBurst(s.cfg.Servers, s.cfg.Burst)
+		ms, qerr = s.client.QueryManyBurst(servers, s.cfg.Burst)
 	} else {
-		ms, qerr = s.client.QueryMany(s.cfg.Servers)
+		ms, qerr = s.client.QueryMany(servers)
 	}
 	report := SyncReport{When: time.Now(), Measurements: len(ms)}
 	switch {
+	case len(servers) == 0:
+		report.Err = errors.New("udptime: no poll targets")
 	case len(ms) == 0:
 		report.Err = fmt.Errorf("udptime: no servers answered: %w", qerr)
 	case s.cfg.Selection:

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sampleEntries() []MemberEntry {
+	return []MemberEntry{
+		{Addr: "127.0.0.1:9000", Gen: 42, Seq: 7, Status: 1, C: 1.7220096e9, E: 0.002, Delta: 5e-5},
+		{Addr: "127.0.0.1:9001", Gen: 1, Seq: 0, Status: 2, C: 1.7220095e9, E: math.Inf(1), Delta: 1e-4},
+		{Addr: "10.0.0.3:123", Gen: 9, Seq: 3, Status: 4, C: 1.72200961e9, E: 0.5, Delta: 0},
+	}
+}
+
+// TestAdvertiseRoundTrip checks the advertise codec is the identity on
+// valid rosters, +Inf error bounds included.
+func TestAdvertiseRoundTrip(t *testing.T) {
+	in := sampleEntries()
+	buf, err := AppendAdvertise(nil, 77, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqID, out, err := ParseAdvertise(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqID != 77 {
+		t.Fatalf("reqID = %d, want 77", reqID)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("entry count %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("entry %d changed: in %+v out %+v", i, in[i], out[i])
+		}
+	}
+}
+
+// TestAdvertiseVersionGate pins the compatibility contract: advertise
+// messages carry version 2, so a version-1-only parser (requests,
+// responses) rejects them with ErrBadVersion — and a doctored version-1
+// advertise is equally rejected by ParseAdvertise.
+func TestAdvertiseVersionGate(t *testing.T) {
+	buf, err := AppendAdvertise(nil, 1, sampleEntries()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[4] != VersionMembership {
+		t.Fatalf("advertise header version = %d, want %d", buf[4], VersionMembership)
+	}
+	if _, err := ParseRequest(buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("v1 request parser accepted an advertise: %v", err)
+	}
+	if _, err := ParseResponse(buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("v1 response parser accepted an advertise: %v", err)
+	}
+	// Downgrade the header to version 1: the advertise parser must reject.
+	buf[4] = Version
+	if _, _, err := ParseAdvertise(buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("ParseAdvertise accepted version 1: %v", err)
+	}
+}
+
+// TestPeekType dispatches without a full parse.
+func TestPeekType(t *testing.T) {
+	req := AppendRequest(nil, Request{ReqID: 5})
+	if typ, ok := PeekType(req); !ok || typ != TypeRequest {
+		t.Fatalf("PeekType(request) = %d, %v", typ, ok)
+	}
+	adv, err := AppendAdvertise(nil, 1, sampleEntries()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ, ok := PeekType(adv); !ok || typ != TypeAdvertise {
+		t.Fatalf("PeekType(advertise) = %d, %v", typ, ok)
+	}
+	if _, ok := PeekType([]byte("not a protocol datagram")); ok {
+		t.Fatal("PeekType accepted junk")
+	}
+	if _, ok := PeekType(req[:8]); ok {
+		t.Fatal("PeekType accepted a short datagram")
+	}
+}
+
+// TestAdvertiseRejectsMalformed covers the validation matrix.
+func TestAdvertiseRejectsMalformed(t *testing.T) {
+	good := sampleEntries()
+	bad := []struct {
+		name    string
+		entries []MemberEntry
+	}{
+		{"empty roster", nil},
+		{"empty address", []MemberEntry{{Addr: "", Status: 1}}},
+		{"status zero", []MemberEntry{{Addr: "a:1", Status: 0}}},
+		{"status out of range", []MemberEntry{{Addr: "a:1", Status: 5}}},
+		{"NaN clock", []MemberEntry{{Addr: "a:1", Status: 1, C: math.NaN()}}},
+		{"infinite clock", []MemberEntry{{Addr: "a:1", Status: 1, C: math.Inf(1)}}},
+		{"negative error", []MemberEntry{{Addr: "a:1", Status: 1, E: -1}}},
+		{"NaN error", []MemberEntry{{Addr: "a:1", Status: 1, E: math.NaN()}}},
+		{"drift one", []MemberEntry{{Addr: "a:1", Status: 1, Delta: 1}}},
+		{"negative drift", []MemberEntry{{Addr: "a:1", Status: 1, Delta: -0.1}}},
+	}
+	for _, tc := range bad {
+		if _, err := AppendAdvertise(nil, 0, tc.entries); err == nil {
+			t.Errorf("%s: AppendAdvertise accepted it", tc.name)
+		}
+	}
+	buf, err := AppendAdvertise(nil, 0, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every byte must error, never panic or misparse.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := ParseAdvertise(buf[:cut]); err == nil {
+			t.Fatalf("ParseAdvertise accepted a %d-byte truncation", cut)
+		}
+	}
+	// Trailing bytes are rejected.
+	if _, _, err := ParseAdvertise(append(append([]byte{}, buf...), 0)); err == nil {
+		t.Fatal("ParseAdvertise accepted trailing bytes")
+	}
+}

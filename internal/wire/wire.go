@@ -18,6 +18,17 @@
 //	  serverID uint64
 //	  clock    int64   server clock, Unix nanoseconds
 //	  maxError uint64  maximum error E, nanoseconds
+//
+//	advertise body (version 2, variable):
+//	  count    uint8   number of roster entries (1..MaxAdvertiseEntries)
+//	  entries  count × { addrLen u8, addr, gen u64, seq u64, status u8,
+//	                     clock f64 bits, maxError f64 bits, delta f64 bits }
+//
+// Requests and responses are version 1 and never change size, so every
+// deployed client keeps working. The advertise (membership heartbeat)
+// message requires version 2: a version-1-only endpoint rejects it with
+// ErrBadVersion and drops the datagram — the deliberate compatibility
+// gate that lets roster-backed peers mix with pre-membership servers.
 package wire
 
 import (
@@ -32,16 +43,29 @@ import (
 const (
 	Magic   uint32 = 0x44545450 // "DTTP"
 	Version uint8  = 1
+	// VersionMembership is the protocol revision that introduced the
+	// advertise message. Requests and responses remain at Version.
+	VersionMembership uint8 = 2
 
 	// RequestSize and ResponseSize are the exact wire sizes.
 	RequestSize  = 16
 	ResponseSize = 40
+
+	// MaxAdvertiseEntries caps the roster entries one advertise message
+	// may carry, bounding the datagram size.
+	MaxAdvertiseEntries = 64
+	// MaxAdvertiseAddr caps the byte length of an advertised address.
+	MaxAdvertiseAddr = 255
 )
 
 // Message types.
 const (
 	TypeRequest  uint8 = 1
 	TypeResponse uint8 = 2
+	// TypeAdvertise is a membership heartbeat: a digest of the sender's
+	// roster, entries carrying each member's advertised <C, E> quality.
+	// Requires VersionMembership.
+	TypeAdvertise uint8 = 3
 )
 
 // Response flag bits.
@@ -81,23 +105,27 @@ type Response struct {
 	Unsynchronized bool
 }
 
-func putHeader(buf []byte, typ, flags uint8, reqID uint64) {
+func putHeader(buf []byte, version, typ, flags uint8, reqID uint64) {
 	binary.BigEndian.PutUint32(buf[0:4], Magic)
-	buf[4] = Version
+	buf[4] = version
 	buf[5] = typ
 	buf[6] = flags
 	buf[7] = 0
 	binary.BigEndian.PutUint64(buf[8:16], reqID)
 }
 
-func parseHeader(buf []byte, wantType uint8) (flags uint8, reqID uint64, err error) {
+// parseHeader validates the common header. The required version is a
+// property of the message type: requests and responses are version 1,
+// advertisements version 2 — so a v1-only implementation rejects
+// advertise datagrams with ErrBadVersion rather than misparsing them.
+func parseHeader(buf []byte, wantType, wantVersion uint8) (flags uint8, reqID uint64, err error) {
 	if len(buf) < RequestSize {
 		return 0, 0, fmt.Errorf("%w: %d bytes", ErrShort, len(buf))
 	}
 	if got := binary.BigEndian.Uint32(buf[0:4]); got != Magic {
 		return 0, 0, fmt.Errorf("%w: %#x", ErrBadMagic, got)
 	}
-	if buf[4] != Version {
+	if buf[4] != wantVersion {
 		return 0, 0, fmt.Errorf("%w: %d", ErrBadVersion, buf[4])
 	}
 	if buf[5] != wantType {
@@ -109,17 +137,28 @@ func parseHeader(buf []byte, wantType uint8) (flags uint8, reqID uint64, err err
 	return buf[6], binary.BigEndian.Uint64(buf[8:16]), nil
 }
 
+// PeekType returns the message type of a datagram that carries a
+// plausible protocol header (length and magic check out), letting a
+// receiver dispatch before committing to a full parse. ok is false for
+// datagrams that are not protocol messages at all.
+func PeekType(buf []byte) (typ uint8, ok bool) {
+	if len(buf) < RequestSize || binary.BigEndian.Uint32(buf[0:4]) != Magic {
+		return 0, false
+	}
+	return buf[5], true
+}
+
 // AppendRequest appends the encoded request to dst and returns the
 // extended slice.
 func AppendRequest(dst []byte, r Request) []byte {
 	var buf [RequestSize]byte
-	putHeader(buf[:], TypeRequest, 0, r.ReqID)
+	putHeader(buf[:], Version, TypeRequest, 0, r.ReqID)
 	return append(dst, buf[:]...)
 }
 
 // ParseRequest decodes a request.
 func ParseRequest(buf []byte) (Request, error) {
-	flags, reqID, err := parseHeader(buf, TypeRequest)
+	flags, reqID, err := parseHeader(buf, TypeRequest, Version)
 	if err != nil {
 		return Request{}, err
 	}
@@ -140,7 +179,7 @@ func AppendResponse(dst []byte, r Response) ([]byte, error) {
 	if r.Unsynchronized {
 		flags |= FlagUnsynchronized
 	}
-	putHeader(buf[:], TypeResponse, flags, r.ReqID)
+	putHeader(buf[:], Version, TypeResponse, flags, r.ReqID)
 	binary.BigEndian.PutUint64(buf[16:24], r.ServerID)
 	binary.BigEndian.PutUint64(buf[24:32], uint64(r.Clock.UnixNano()))
 	binary.BigEndian.PutUint64(buf[32:40], uint64(r.MaxError))
@@ -149,7 +188,7 @@ func AppendResponse(dst []byte, r Response) ([]byte, error) {
 
 // ParseResponse decodes a response.
 func ParseResponse(buf []byte) (Response, error) {
-	flags, reqID, err := parseHeader(buf, TypeResponse)
+	flags, reqID, err := parseHeader(buf, TypeResponse, Version)
 	if err != nil {
 		return Response{}, err
 	}
@@ -170,4 +209,137 @@ func ParseResponse(buf []byte) (Response, error) {
 		MaxError:       time.Duration(maxErr),
 		Unsynchronized: flags&FlagUnsynchronized != 0,
 	}, nil
+}
+
+// MemberEntry is one roster row of an advertise message — the wire form
+// of a membership entry. Quantities mirror the in-memory roster: C and E
+// are the member's advertised <C, E> reading in Unix seconds (E may be
+// +Inf for a member of unknown quality, e.g. one not yet synchronized),
+// Delta its claimed drift bound as a fraction.
+type MemberEntry struct {
+	// Addr is the member's serving address ("host:port"); the roster key.
+	Addr string
+	// Gen is the member's incarnation number.
+	Gen uint64
+	// Seq is the within-generation heartbeat sequence.
+	Seq uint64
+	// Status is the lifecycle state (member.Status values 1..4).
+	Status uint8
+	// C and E are the advertised reading: clock value and maximum error,
+	// in seconds.
+	C, E float64
+	// Delta is the member's claimed drift bound, in [0, 1).
+	Delta float64
+}
+
+// memberEntryFixed is the per-entry wire size excluding the address
+// bytes: addrLen u8, gen u64, seq u64, status u8, C/E/delta f64 bits.
+const memberEntryFixed = 1 + 8 + 8 + 1 + 3*8
+
+// validateMemberEntry rejects entries the roster could not merge.
+func validateMemberEntry(e MemberEntry) error {
+	if len(e.Addr) == 0 || len(e.Addr) > MaxAdvertiseAddr {
+		return fmt.Errorf("%w: address length %d", ErrBadField, len(e.Addr))
+	}
+	if e.Status < 1 || e.Status > 4 {
+		return fmt.Errorf("%w: status %d", ErrBadField, e.Status)
+	}
+	if math.IsNaN(e.C) || math.IsInf(e.C, 0) {
+		return fmt.Errorf("%w: non-finite clock %v", ErrBadField, e.C)
+	}
+	if math.IsNaN(e.E) || e.E < 0 {
+		return fmt.Errorf("%w: invalid max error %v", ErrBadField, e.E)
+	}
+	if math.IsNaN(e.Delta) || e.Delta < 0 || e.Delta >= 1 {
+		return fmt.Errorf("%w: drift bound %v outside [0,1)", ErrBadField, e.Delta)
+	}
+	return nil
+}
+
+// AppendAdvertise appends an encoded advertise message carrying the
+// given roster entries and returns the extended slice. The reqID is a
+// free-form sender sequence echoed nowhere; it aids packet-level
+// debugging. Entries are validated; at least one (the sender's own) and
+// at most MaxAdvertiseEntries are required.
+func AppendAdvertise(dst []byte, reqID uint64, entries []MemberEntry) ([]byte, error) {
+	if len(entries) == 0 || len(entries) > MaxAdvertiseEntries {
+		return nil, fmt.Errorf("%w: %d advertise entries", ErrBadField, len(entries))
+	}
+	var hdr [RequestSize + 1]byte
+	putHeader(hdr[:], VersionMembership, TypeAdvertise, 0, reqID)
+	hdr[RequestSize] = uint8(len(entries))
+	dst = append(dst, hdr[:]...)
+	var num [8]byte
+	for _, e := range entries {
+		if err := validateMemberEntry(e); err != nil {
+			return nil, fmt.Errorf("advertise entry %q: %w", e.Addr, err)
+		}
+		dst = append(dst, uint8(len(e.Addr)))
+		dst = append(dst, e.Addr...)
+		binary.BigEndian.PutUint64(num[:], e.Gen)
+		dst = append(dst, num[:]...)
+		binary.BigEndian.PutUint64(num[:], e.Seq)
+		dst = append(dst, num[:]...)
+		dst = append(dst, e.Status)
+		binary.BigEndian.PutUint64(num[:], math.Float64bits(e.C))
+		dst = append(dst, num[:]...)
+		binary.BigEndian.PutUint64(num[:], math.Float64bits(e.E))
+		dst = append(dst, num[:]...)
+		binary.BigEndian.PutUint64(num[:], math.Float64bits(e.Delta))
+		dst = append(dst, num[:]...)
+	}
+	return dst, nil
+}
+
+// ParseAdvertise decodes an advertise message: header, entry count, and
+// every entry, each validated. It returns the sender's reqID and the
+// entries (the first is the sender's own row, per the digest convention).
+func ParseAdvertise(buf []byte) (reqID uint64, entries []MemberEntry, err error) {
+	flags, reqID, err := parseHeader(buf, TypeAdvertise, VersionMembership)
+	if err != nil {
+		return 0, nil, err
+	}
+	if flags != 0 {
+		return 0, nil, fmt.Errorf("%w: advertise flags %#x", ErrBadField, flags)
+	}
+	rest := buf[RequestSize:]
+	if len(rest) < 1 {
+		return 0, nil, fmt.Errorf("%w: missing entry count", ErrShort)
+	}
+	count := int(rest[0])
+	rest = rest[1:]
+	if count == 0 || count > MaxAdvertiseEntries {
+		return 0, nil, fmt.Errorf("%w: %d advertise entries", ErrBadField, count)
+	}
+	entries = make([]MemberEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < memberEntryFixed {
+			return 0, nil, fmt.Errorf("%w: entry %d truncated", ErrShort, i)
+		}
+		addrLen := int(rest[0])
+		if addrLen == 0 {
+			return 0, nil, fmt.Errorf("%w: entry %d empty address", ErrBadField, i)
+		}
+		if len(rest) < memberEntryFixed+addrLen {
+			return 0, nil, fmt.Errorf("%w: entry %d truncated", ErrShort, i)
+		}
+		rest = rest[1:]
+		e := MemberEntry{Addr: string(rest[:addrLen])}
+		rest = rest[addrLen:]
+		e.Gen = binary.BigEndian.Uint64(rest[0:8])
+		e.Seq = binary.BigEndian.Uint64(rest[8:16])
+		e.Status = rest[16]
+		e.C = math.Float64frombits(binary.BigEndian.Uint64(rest[17:25]))
+		e.E = math.Float64frombits(binary.BigEndian.Uint64(rest[25:33]))
+		e.Delta = math.Float64frombits(binary.BigEndian.Uint64(rest[33:41]))
+		rest = rest[41:]
+		if err := validateMemberEntry(e); err != nil {
+			return 0, nil, fmt.Errorf("advertise entry %d: %w", i, err)
+		}
+		entries = append(entries, e)
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadField, len(rest))
+	}
+	return reqID, entries, nil
 }
