@@ -7,19 +7,22 @@ GO ?= go
 # parallel experiment runner, or real concurrency. Referenced by BOTH
 # `make test` and `make test-race` so no package is raced in one target
 # but omitted from the other.
-RACE_PKGS = ./internal/par ./internal/sim ./internal/experiments \
+RACE_PKGS = ./internal/par ./internal/sim/... ./internal/experiments \
             ./internal/service ./internal/simnet ./internal/interval \
             ./internal/chaos ./internal/udptime ./internal/obs \
-            ./internal/member ./cmd/...
+            ./internal/member ./internal/scale ./cmd/...
 
 # Packages whose line coverage is floored by `make cover-check` (and so by
 # `make check`): the theorem algebra, the interval sweep, and the
 # membership state machine are the proof core, so untested lines there
-# are untested math.
-COVER_FLOOR_PKGS = ./internal/core ./internal/interval ./internal/member
+# are untested math. The sharded kernel and its worker pool join the
+# list because every untested line there is a potential determinism or
+# race hole.
+COVER_FLOOR_PKGS = ./internal/core ./internal/interval ./internal/member \
+                   ./internal/par ./internal/sim/shard ./internal/scale
 COVER_FLOOR     ?= 85
 
-.PHONY: all build vet lint test check test-race cover cover-check chaos obs-smoke churn-smoke fuzz-smoke bench experiments ablations examples clean
+.PHONY: all build vet lint test check test-race cover cover-check chaos chaos-replay obs-smoke churn-smoke scale-smoke fuzz-smoke bench bench-scale experiments ablations examples clean
 
 all: build vet lint test
 
@@ -41,11 +44,12 @@ test:
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 
-# check = vet + lint + test + race + coverage floor + obs smoke: the
-# tier-1 tests, the lint gate, the proof-core coverage floor, and the
-# observability determinism smoke travel together (race rides inside
-# `test` via RACE_PKGS).
-check: vet lint test cover-check obs-smoke churn-smoke
+# check = vet + lint + test + race + coverage floor + smokes: the
+# tier-1 tests, the lint gate, the proof-core coverage floor, the
+# observability/membership determinism smokes, the committed chaos
+# corpus replays, and the sharded-kernel scale smoke travel together
+# (race rides inside `test` via RACE_PKGS).
+check: vet lint test cover-check obs-smoke churn-smoke chaos-replay scale-smoke
 
 test-race:
 	$(GO) test -race $(RACE_PKGS)
@@ -72,6 +76,20 @@ cover-check:
 # ones under internal/chaos/corpus/. See DESIGN.md §11.
 chaos:
 	$(GO) run ./cmd/timesim -chaos -campaigns 60 -chaos-seed 1
+
+# Replay every committed chaos reproducer: the corpus under
+# internal/chaos/corpus/ is the repo's regression suite of interesting
+# fault campaigns, so `make check` re-runs each line verbatim.
+chaos-replay:
+	@for repro in internal/chaos/corpus/*.repro; do \
+		echo "chaos-replay: $$repro"; \
+		$(GO) run ./cmd/timesim -chaos -replay $$repro || exit 1; \
+	done
+
+# Sharded-kernel scale smoke: the S1 sweep at its CI-sized topology (the
+# full 10k/50k/100k sweep is `timesim -scale` / `make bench-scale`).
+scale-smoke:
+	$(GO) run ./cmd/timesim -experiment S1
 
 # Observability smoke: the obs package under -race, then two seeded
 # `timesim -metrics -trace-out` runs diffed byte-for-byte — the
@@ -114,6 +132,16 @@ bench:
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_BASELINE.json
 	@rm -f bench.out
 	@echo "wrote BENCH_BASELINE.json"
+
+# The planet-scale sweep benchmarks (10k/50k/100k servers on the sharded
+# kernel), recorded separately so the scale trajectory travels next to
+# the per-figure baseline. The 100k size must stay in single-digit
+# seconds per iteration.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkScaleSweep' -benchmem -benchtime=$(BENCHTIME) . | tee bench-scale.out
+	$(GO) run ./cmd/benchjson < bench-scale.out > BENCH_SCALE.json
+	@rm -f bench-scale.out
+	@echo "wrote BENCH_SCALE.json"
 
 # Regenerate the EXPERIMENTS.md data.
 experiments:

@@ -1,0 +1,48 @@
+package disttime_test
+
+// The scale benchmark suite: the S1 sweep sizes run one at a time on the
+// sharded kernel, recorded to BENCH_SCALE.json by `make bench-scale`.
+// Like the paper-figure benchmarks these double as reproduction gates —
+// a size fails if its skew-vs-distance shape stops holding. The 100k
+// run must stay in single-digit seconds; its events/sec throughput is
+// reported as an extra metric.
+
+import (
+	"strconv"
+	"testing"
+
+	"disttime/internal/experiments"
+)
+
+func runScaleSize(b *testing.B, sz experiments.ScaleSize) {
+	b.Helper()
+	b.ReportAllocs()
+	var events int
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.ScaleSweep(experiments.ScaleConfig{
+			Sizes: []experiments.ScaleSize{sz},
+			Seed:  1,
+		})
+		if err != nil {
+			b.Fatalf("scale sweep failed: %v\n%s", err, tbl)
+		}
+		n, err := strconv.Atoi(tbl.Rows[0][3])
+		if err != nil {
+			b.Fatalf("bad event count %q: %v", tbl.Rows[0][3], err)
+		}
+		events += n
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkScaleSweep10k(b *testing.B) {
+	runScaleSize(b, experiments.ScaleSize{Name: "10k", Regions: 10, Clusters: 20, Members: 50})
+}
+
+func BenchmarkScaleSweep50k(b *testing.B) {
+	runScaleSize(b, experiments.ScaleSize{Name: "50k", Regions: 10, Clusters: 100, Members: 50})
+}
+
+func BenchmarkScaleSweep100k(b *testing.B) {
+	runScaleSize(b, experiments.ScaleSize{Name: "100k", Regions: 20, Clusters: 100, Members: 50})
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestScaleSweepSmoke runs the registry-sized S1 sweep: the gradient
+// assertion inside ScaleSweep is the real check, and two runs must
+// render byte-identical tables (the sharded kernel's determinism
+// surfacing at the experiment layer).
+func TestScaleSweepSmoke(t *testing.T) {
+	tbl, err := ScaleSweepSmoke()
+	if err != nil {
+		t.Fatalf("ScaleSweepSmoke: %v\n%s", err, tbl)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tbl.Rows))
+	}
+	again, err := ScaleSweepSmoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.String() != again.String() {
+		t.Fatalf("S1 not deterministic:\n%s\nvs\n%s", tbl, again)
+	}
+}
+
+// TestScaleSweepShardInvariance checks the experiment's numbers are
+// identical for any kernel partition, sequential included.
+func TestScaleSweepShardInvariance(t *testing.T) {
+	size := []ScaleSize{{Name: "s", Regions: 8, Clusters: 4, Members: 16}}
+	run := func(shards int) string {
+		tbl, err := ScaleSweep(ScaleConfig{Sizes: size, Shards: shards, Seed: 3, Until: 600})
+		if err != nil {
+			t.Fatalf("shards=%d: %v\n%s", shards, err, tbl)
+		}
+		tbl.Rows[0][2] = "-" // the shards column is the one legitimate difference
+		return tbl.String()
+	}
+	one := run(1)
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); got != one {
+			t.Fatalf("shards=%d table differs from sequential:\n%s\nvs\n%s", shards, got, one)
+		}
+	}
+}

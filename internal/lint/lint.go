@@ -134,6 +134,11 @@ func DefaultConfig() *Config {
 			// Roster digests, gossip payloads, and detector verdicts feed
 			// deterministic timelines; sorted iteration is the contract.
 			"disttime/internal/member",
+			// The sharded kernel and its planet-scale workload are
+			// determinism contracts across shard counts; any map
+			// iteration feeding event order or fingerprints is a bug.
+			"disttime/internal/sim/shard",
+			"disttime/internal/scale",
 			"disttime/cmd",
 			// Fixtures exercising the analyzer itself.
 			"disttime/internal/lint/testdata",

@@ -1,0 +1,680 @@
+// Package scale runs the paper's time-service protocol at planet scale on
+// the sharded simulation kernel. Where internal/service builds real
+// Server objects, a message network, and per-reply bookkeeping — the
+// right fidelity for hundreds of servers — this engine specializes the
+// same three rules into flat per-node arrays so that runs of 10^5 servers
+// finish in seconds:
+//
+//   - MM-1: a node answers a request with <C_j(t), E_j(t)> where
+//     E_j(t) = epsilon_j + (C_j(t) - r_j) * delta.
+//   - IM-2: a requester transforms each reply into the offset interval
+//     [C_j - E_j - C_i, C_j + E_j + (1+delta) xi - C_i], intersects
+//     (including its own interval), and resets to the midpoint. The
+//     intersection is maintained incrementally as replies arrive, aged by
+//     the local clock's progress exactly as core.Server's Age machinery
+//     ages a batched reply.
+//   - MM-2: alternatively, a reply whose transit-charged error is at most
+//     the requester's own causes an immediate adopt.
+//
+// The topology is the stratified hierarchy of simnet.BuildHierarchy:
+// regions of clusters of full-mesh members, uplinks from cluster gateways
+// to region hubs, and a hub-to-hub backbone. Sharded by region, only
+// backbone messages cross shards, so the backbone's minimum delay is the
+// kernel lookahead. Every stochastic choice draws from the choosing
+// node's own stream, so results are byte-identical for every shard count
+// (see internal/sim/shard).
+//
+// Chaos (falsetickers, loss, delay windows) and churn (leave/rejoin) are
+// deterministic per-node functions of the same streams, giving the
+// sharded kernel the same adversarial scenarios the chaos harness runs
+// against the sequential service.
+package scale
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"disttime/internal/obs"
+	"disttime/internal/sim/shard"
+)
+
+// Rule selects the synchronization function.
+type Rule int
+
+const (
+	// RuleIM is algorithm IM (intersect intervals, adopt the midpoint).
+	RuleIM Rule = iota
+	// RuleMM is algorithm MM (adopt a neighbor with smaller charged error).
+	RuleMM
+)
+
+// Scenario selects the run's failure regime.
+type Scenario int
+
+const (
+	// Plain is fault-free operation.
+	Plain Scenario = iota
+	// Chaos enables falsetickers, message loss, and a delay-spike window.
+	Chaos
+	// Churn makes nodes leave and rejoin the service.
+	Churn
+)
+
+// Topology shapes the stratified hierarchy. Members is a full mesh per
+// cluster; member 0 of each cluster is its gateway; cluster 0's gateway
+// is the region hub. A 1x1xN topology is the paper's full mesh.
+type Topology struct {
+	Regions  int
+	Clusters int // per region
+	Members  int // per cluster
+}
+
+// Nodes returns the total node count.
+func (t Topology) Nodes() int { return t.Regions * t.Clusters * t.Members }
+
+// Band is a uniform delay band [Min, Max] in seconds.
+type Band struct {
+	Min float64
+	Max float64
+}
+
+func (b Band) sample(u float64) float64 { return b.Min + u*(b.Max-b.Min) }
+
+// Config configures an engine.
+type Config struct {
+	// Topo is the hierarchy shape. Required; Members >= 2.
+	Topo Topology
+	// Shards is the kernel partition count; clamped to the number of
+	// partitionable units (regions; clusters in a single region; nodes in
+	// a single mesh). Never changes results.
+	Shards int
+	// Seed roots every per-node stream.
+	Seed uint64
+	// Tau is the synchronization period in seconds. Required > 0.
+	Tau float64
+	// K is how many cluster peers each node samples per round; 0 means
+	// all cluster peers (the full-mesh protocol of the theorems).
+	K int
+	// Delta is the common claimed drift bound.
+	Delta float64
+	// DriftMax bounds the actual drift rates, drawn i.i.d. uniform in
+	// [-DriftMax, DriftMax] (Theorem 8's setting when < Delta).
+	DriftMax float64
+	// InitialError is every node's starting inherited error; initial
+	// clock offsets are drawn uniform within it, so the claim is honest.
+	InitialError float64
+	// Member, Uplink, and Backbone are the three tiers' delay bands.
+	// Positive minima are what make partitions safely shardable.
+	Member, Uplink, Backbone Band
+	// Rule selects IM or MM.
+	Rule Rule
+	// Scenario selects Plain, Chaos, or Churn.
+	Scenario Scenario
+
+	// FalsetickerFrac is the fraction of nodes (Chaos) whose true drift
+	// violates the claimed bound.
+	FalsetickerFrac float64
+	// FalsetickerBoost multiplies Delta for a falseticker's true rate
+	// (default 6).
+	FalsetickerBoost float64
+	// Loss is the per-message drop probability (Chaos).
+	Loss float64
+	// DelayFactor >= 1 stretches all delays during [DelayFrom,
+	// DelayUntil) (Chaos). Zero means no spike.
+	DelayFactor          float64
+	DelayFrom, DelayUntil float64
+
+	// LeaveProb is the per-round probability a node goes down (Churn).
+	LeaveProb float64
+	// DownFor is how long a departed node stays down (default 3*Tau).
+	DownFor float64
+}
+
+// Event kinds.
+const (
+	kSync uint16 = iota + 1 // periodic round start on a node
+	kRequest                // time request delivery
+	kReply                  // time reply delivery; A = C_j, B = E_j
+	kClose                  // round close: apply IM's intersection
+	kRejoin                 // churn: node comes back up
+)
+
+// Engine is a running scale simulation. All per-node state lives in flat
+// arrays indexed by node id; an event's handler touches only its own
+// node's entries, which is what makes windowed parallel execution safe.
+type Engine struct {
+	cfg Config
+	k   *shard.Kernel
+	n   int
+
+	// Clock and rule MM-1 bookkeeping. C_i(t) = off + (1+rate)*t.
+	off, rate     []float64
+	eps, resetRef []float64
+
+	// Per-round IM state: the running offset intersection [a, b] relative
+	// to the requester's clock reading lastC, and the replies used.
+	a, b, lastC []float64
+	reqC        []float64
+	used        []int32
+	round       []uint32
+
+	down    []bool
+	resets  []uint32
+	incons  []uint32
+
+	obsResets *obs.Counter
+	obsIncons *obs.Counter
+}
+
+// New builds an engine at virtual time zero with every node's first round
+// scheduled at a deterministic phase within the first period.
+func New(cfg Config) (*Engine, error) {
+	t := cfg.Topo
+	if t.Regions <= 0 || t.Clusters <= 0 || t.Members < 2 {
+		return nil, fmt.Errorf("scale: topology %dx%dx%d needs positive tiers and >= 2 members",
+			t.Regions, t.Clusters, t.Members)
+	}
+	if !(cfg.Tau > 0) {
+		return nil, fmt.Errorf("scale: non-positive tau %v", cfg.Tau)
+	}
+	if cfg.Delta < 0 || cfg.DriftMax < 0 || cfg.InitialError < 0 {
+		return nil, fmt.Errorf("scale: negative delta/drift/error")
+	}
+	if cfg.Loss < 0 || cfg.Loss >= 1 || cfg.FalsetickerFrac < 0 || cfg.FalsetickerFrac > 1 ||
+		cfg.LeaveProb < 0 || cfg.LeaveProb >= 1 {
+		return nil, fmt.Errorf("scale: probability out of range")
+	}
+	if cfg.DelayFactor < 0 || (cfg.DelayFactor > 0 && cfg.DelayFactor < 1) {
+		return nil, fmt.Errorf("scale: delay factor %v would shrink delays below the lookahead", cfg.DelayFactor)
+	}
+	if cfg.FalsetickerBoost <= 0 {
+		cfg.FalsetickerBoost = 6
+	}
+	if cfg.DownFor <= 0 {
+		cfg.DownFor = 3 * cfg.Tau
+	}
+	n := t.Nodes()
+	e := &Engine{
+		cfg: cfg, n: n,
+		off: make([]float64, n), rate: make([]float64, n),
+		eps: make([]float64, n), resetRef: make([]float64, n),
+		a: make([]float64, n), b: make([]float64, n), lastC: make([]float64, n),
+		reqC: make([]float64, n), used: make([]int32, n), round: make([]uint32, n),
+		down: make([]bool, n), resets: make([]uint32, n), incons: make([]uint32, n),
+	}
+
+	shards, shardOf, lookahead, err := e.partition(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.k, err = shard.New(shard.Config{
+		Nodes: n, Shards: shards, Seed: cfg.Seed,
+		Lookahead: lookahead, ShardOf: shardOf, Handler: e,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Node state init is sequential and shard-independent: one dedicated
+	// stream, consumed in node order.
+	init := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa5a5a5a5a5a5a5a5))
+	for i := 0; i < n; i++ {
+		r := (2*init.Float64() - 1) * cfg.DriftMax
+		if cfg.Scenario == Chaos && init.Float64() < cfg.FalsetickerFrac {
+			boosted := cfg.Delta * cfg.FalsetickerBoost
+			if r < 0 {
+				r = -boosted
+			} else {
+				r = boosted
+			}
+		}
+		e.rate[i] = r
+		// Inherited error is "however the clock was first set": drawn per
+		// node in (0.2, 1] of InitialError, with the true offset inside
+		// it, so every initial claim is honest and errors are
+		// heterogeneous (without which rule MM-2's adopt-if-smaller has
+		// nothing to adopt).
+		e0 := cfg.InitialError * (0.2 + 0.8*init.Float64())
+		e.off[i] = (2*init.Float64() - 1) * e0
+		e.eps[i] = e0
+		e.resetRef[i] = e.off[i] // clock value at t=0
+		phase := cfg.Tau * init.Float64()
+		e.k.Seed(int32(i), phase, kSync, 0, 0, 0)
+	}
+	return e, nil
+}
+
+// partition picks the shard count, node-to-shard map, and lookahead for
+// the topology: regions are the partition unit when there are several
+// (backbone-only cross traffic), clusters within a single region (uplink
+// cross traffic), and plain node blocks for a single full mesh.
+func (e *Engine) partition(cfg Config) (int, func(int32) int32, float64, error) {
+	t := cfg.Topo
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	var units int
+	var unitOf func(int32) int
+	var min float64
+	switch {
+	case t.Regions > 1:
+		units, min = t.Regions, cfg.Backbone.Min
+		per := t.Clusters * t.Members
+		unitOf = func(node int32) int { return int(node) / per }
+	case t.Clusters > 1:
+		units, min = t.Clusters, cfg.Uplink.Min
+		unitOf = func(node int32) int { return int(node) / t.Members }
+	default:
+		units, min = t.Members, cfg.Member.Min
+		unitOf = func(node int32) int { return int(node) }
+	}
+	if shards > units {
+		shards = units
+	}
+	if shards > 1 && !(min > 0) {
+		return 0, nil, 0, fmt.Errorf("scale: %d shards need a positive minimum cross-shard delay", shards)
+	}
+	s := shards
+	shardOf := func(node int32) int32 { return int32(unitOf(node) * s / units) }
+	return shards, shardOf, min, nil
+}
+
+// Close releases the kernel's worker pool.
+func (e *Engine) Close() { e.k.Close() }
+
+// Observe registers the kernel's window/merge metrics plus the engine's
+// reset and inconsistency counters in reg.
+func (e *Engine) Observe(reg *obs.Registry) {
+	e.k.Observe(reg)
+	e.obsResets = reg.Counter("scale_resets_total")
+	e.obsIncons = reg.Counter("scale_inconsistent_total")
+}
+
+// Shards returns the kernel's effective shard count.
+func (e *Engine) Shards() int { return e.k.Shards() }
+
+// Steps returns the total events executed.
+func (e *Engine) Steps() uint64 { return e.k.Steps() }
+
+// Nodes returns the node count.
+func (e *Engine) Nodes() int { return e.n }
+
+// Run advances the simulation to virtual time until.
+func (e *Engine) Run(until float64) { e.k.Run(until) }
+
+// --- topology arithmetic (ids are (region, cluster, member) in row-major
+// order, so every role is a pure function of the id) ---
+
+func (e *Engine) clusterBase(i int32) int32 { return i - i%int32(e.cfg.Topo.Members) }
+func (e *Engine) isGateway(i int32) bool    { return i%int32(e.cfg.Topo.Members) == 0 }
+func (e *Engine) isHub(i int32) bool {
+	per := int32(e.cfg.Topo.Clusters * e.cfg.Topo.Members)
+	return i%per == 0
+}
+func (e *Engine) hubOf(i int32) int32 {
+	per := int32(e.cfg.Topo.Clusters * e.cfg.Topo.Members)
+	return i - i%per
+}
+
+// delay draws the one-way delay from src's stream for a message to dst,
+// applying the chaos delay window.
+func (e *Engine) delay(p *shard.Proc, src, dst int32, now float64) float64 {
+	var band Band
+	switch {
+	case e.clusterBase(src) == e.clusterBase(dst):
+		band = e.cfg.Member
+	case e.hubOf(src) == e.hubOf(dst):
+		band = e.cfg.Uplink
+	default:
+		band = e.cfg.Backbone
+	}
+	d := band.sample(p.Float64(src))
+	if e.cfg.Scenario == Chaos && e.cfg.DelayFactor > 1 &&
+		now >= e.cfg.DelayFrom && now < e.cfg.DelayUntil {
+		d *= e.cfg.DelayFactor
+	}
+	return d
+}
+
+// lost draws the chaos loss gate from the sender's stream. The draw is
+// unconditional under Chaos so stream positions do not depend on payload.
+func (e *Engine) lost(p *shard.Proc, src int32) bool {
+	if e.cfg.Scenario != Chaos || e.cfg.Loss <= 0 {
+		return false
+	}
+	return p.Float64(src) < e.cfg.Loss
+}
+
+// --- rule MM-1 primitives ---
+
+func (e *Engine) read(i int32, t float64) float64 {
+	return e.off[i] + (1+e.rate[i])*t
+}
+
+func (e *Engine) errAt(i int32, t float64) float64 {
+	el := e.read(i, t) - e.resetRef[i]
+	if el < 0 {
+		el = 0
+	}
+	return e.eps[i] + el*e.cfg.Delta
+}
+
+func (e *Engine) setClock(i int32, t, c, err float64) {
+	e.off[i] = c - (1+e.rate[i])*t
+	e.eps[i] = err
+	e.resetRef[i] = c
+	e.resets[i]++
+	e.obsResets.Inc()
+}
+
+// Event dispatches one kernel event. Requests and replies carry the
+// round in Tag; replies carry the responder's reading in (A, B).
+func (e *Engine) Event(p *shard.Proc, ev shard.Ev) {
+	switch ev.Kind {
+	case kSync:
+		e.sync(p, ev.Node)
+	case kRequest:
+		e.request(p, ev.Node, ev.From, ev.Tag)
+	case kReply:
+		e.reply(p, ev.Node, ev.From, ev.Tag, ev.A, ev.B)
+	case kClose:
+		e.close(p, ev.Node, ev.Tag)
+	case kRejoin:
+		e.down[ev.Node] = false
+	default:
+		panic(fmt.Sprintf("scale: unknown event kind %d", ev.Kind))
+	}
+}
+
+// sync starts node i's round: churn decision, then the request broadcast
+// to its sampled cluster peers plus its role links (gateway -> hub,
+// hub -> other hubs), then the close timer and the next round's timer.
+func (e *Engine) sync(p *shard.Proc, i int32) {
+	t := p.Now()
+	p.After(i, e.cfg.Tau, kSync, 0, 0, 0)
+	if e.cfg.Scenario == Churn {
+		// Unconditional draw: stream position must not depend on state.
+		leave := p.Float64(i) < e.cfg.LeaveProb
+		if !e.down[i] && leave {
+			e.down[i] = true
+			p.After(i, e.cfg.DownFor, kRejoin, 0, 0, 0)
+		}
+	}
+	if e.down[i] {
+		return
+	}
+
+	ci := e.read(i, t)
+	ei := e.errAt(i, t)
+	e.round[i]++
+	tag := e.round[i]
+	e.reqC[i] = ci
+	e.a[i], e.b[i] = -ei, ei // rule IM-2 intersects the own interval too
+	e.lastC[i] = ci
+	e.used[i] = 0
+
+	m := int32(e.cfg.Topo.Members)
+	base := e.clusterBase(i)
+	if k := int32(e.cfg.K); k <= 0 || k >= m-1 {
+		for j := base; j < base+m; j++ {
+			if j != i {
+				e.ask(p, i, j, tag, t)
+			}
+		}
+	} else {
+		for q := int32(0); q < k; q++ {
+			j := base + int32(p.Uint64(i)%uint64(m))
+			if j == i {
+				j = base + (j-base+1)%m
+			}
+			e.ask(p, i, j, tag, t)
+		}
+	}
+	if e.isHub(i) {
+		per := int32(e.cfg.Topo.Clusters * e.cfg.Topo.Members)
+		for r := int32(0); r < int32(e.cfg.Topo.Regions); r++ {
+			if hub := r * per; hub != i {
+				e.ask(p, i, hub, tag, t)
+			}
+		}
+	} else if e.isGateway(i) {
+		e.ask(p, i, e.hubOf(i), tag, t)
+	}
+	p.After(i, e.cfg.Tau/2, kClose, tag, 0, 0)
+}
+
+// ask sends one time request from i to j.
+func (e *Engine) ask(p *shard.Proc, i, j int32, tag uint32, t float64) {
+	d := e.delay(p, i, j, t)
+	if e.lost(p, i) {
+		return
+	}
+	p.Send(i, j, d, kRequest, tag, 0, 0)
+}
+
+// request answers a time request at node j per rule MM-1.
+func (e *Engine) request(p *shard.Proc, j, from int32, tag uint32) {
+	if e.down[j] {
+		return
+	}
+	t := p.Now()
+	d := e.delay(p, j, from, t)
+	if e.lost(p, j) {
+		return
+	}
+	p.Send(j, from, d, kReply, tag, e.read(j, t), e.errAt(j, t))
+}
+
+// reply processes a reply <cj, ej> arriving at node i: the transit charge
+// (1+delta)*xi on the leading edge, the consistency check of rule MM-2,
+// and then either MM's adopt-if-smaller or IM's incremental intersection.
+func (e *Engine) reply(p *shard.Proc, i, from int32, tag uint32, cj, ej float64) {
+	if e.down[i] || tag != e.round[i] {
+		return
+	}
+	t := p.Now()
+	ci := e.read(i, t)
+	rtt := ci - e.reqC[i]
+	if rtt < 0 {
+		rtt = 0
+	}
+	trail := ej
+	lead := ej + (1+e.cfg.Delta)*rtt
+	lo := cj - trail - ci
+	hi := cj + lead - ci
+	ei := e.errAt(i, t)
+	if lo > ei || hi < -ei {
+		// Disjoint from the own interval: at least one of the two servers
+		// is incorrect; the reply is ignored (MM-2's rule, IM's
+		// DropInconsistent pre-filter).
+		e.incons[i]++
+		e.obsIncons.Inc()
+		return
+	}
+	switch e.cfg.Rule {
+	case RuleMM:
+		if lead <= ei {
+			e.setClock(i, t, cj, lead)
+		}
+	case RuleIM:
+		// Age the running intersection by the local clock's progress
+		// since the last contribution (core.Server's Age machinery,
+		// applied incrementally): offsets keep their reference at the
+		// current reading, widening by delta per elapsed clock-second.
+		dc := ci - e.lastC[i]
+		if dc < 0 {
+			dc = 0
+		}
+		e.a[i] -= e.cfg.Delta * dc
+		e.b[i] += e.cfg.Delta * dc
+		e.lastC[i] = ci
+		if lo > e.a[i] {
+			e.a[i] = lo
+		}
+		if hi < e.b[i] {
+			e.b[i] = hi
+		}
+		e.used[i]++
+	}
+}
+
+// close ends node i's round: under IM a non-empty intersection resets the
+// clock to its midpoint with the half-width as the inherited error
+// (rule IM-2); an empty one marks the service inconsistent.
+func (e *Engine) close(p *shard.Proc, i int32, tag uint32) {
+	if e.down[i] || tag != e.round[i] || e.cfg.Rule != RuleIM || e.used[i] == 0 {
+		return
+	}
+	t := p.Now()
+	ci := e.read(i, t)
+	dc := ci - e.lastC[i]
+	if dc < 0 {
+		dc = 0
+	}
+	aa := e.a[i] - e.cfg.Delta*dc
+	bb := e.b[i] + e.cfg.Delta*dc
+	if bb < aa {
+		e.incons[i]++
+		e.obsIncons.Inc()
+		return
+	}
+	e.setClock(i, t, ci+(aa+bb)/2, (bb-aa)/2)
+}
+
+// --- sampling ---
+
+// MeanError returns the mean reported maximum error E_i(t) over all
+// nodes at virtual time t (which must be the engine's current time).
+func (e *Engine) MeanError(t float64) float64 {
+	var sum float64
+	for i := 0; i < e.n; i++ {
+		sum += e.errAt(int32(i), t)
+	}
+	return sum / float64(e.n)
+}
+
+// MeanAbsOffset returns the mean |C_i(t) - t| over all nodes.
+func (e *Engine) MeanAbsOffset(t float64) float64 {
+	var sum float64
+	for i := 0; i < e.n; i++ {
+		sum += math.Abs(e.read(int32(i), t) - t)
+	}
+	return sum / float64(e.n)
+}
+
+// TierSkew is the mean true offset |C - t| per hierarchy tier — the
+// skew-vs-distance gradient of a stratified service: hubs sit on the
+// backbone, gateways one uplink away, members one cluster hop further.
+type TierSkew struct {
+	Hub, Gateway, Member float64
+}
+
+// Skew returns the per-tier mean |C_i(t) - t|.
+func (e *Engine) Skew(t float64) TierSkew {
+	var sums [3]float64
+	var counts [3]int
+	for i := 0; i < e.n; i++ {
+		id := int32(i)
+		tier := 2
+		if e.isHub(id) {
+			tier = 0
+		} else if e.isGateway(id) {
+			tier = 1
+		}
+		sums[tier] += math.Abs(e.read(id, t) - t)
+		counts[tier]++
+	}
+	out := TierSkew{}
+	if counts[0] > 0 {
+		out.Hub = sums[0] / float64(counts[0])
+	}
+	if counts[1] > 0 {
+		out.Gateway = sums[1] / float64(counts[1])
+	}
+	if counts[2] > 0 {
+		out.Member = sums[2] / float64(counts[2])
+	}
+	return out
+}
+
+// ErrorByTier returns the per-tier mean reported error E_i(t). Unlike
+// the true skew — noisy when a tier holds few nodes — the reported
+// error is pinned by the delay bound xi of the links each tier
+// synchronizes over (Theorems 2 and 8), so its gradient across tiers is
+// a stable property of the topology, not of the seed.
+func (e *Engine) ErrorByTier(t float64) TierSkew {
+	var sums [3]float64
+	var counts [3]int
+	for i := 0; i < e.n; i++ {
+		id := int32(i)
+		tier := 2
+		if e.isHub(id) {
+			tier = 0
+		} else if e.isGateway(id) {
+			tier = 1
+		}
+		sums[tier] += e.errAt(id, t)
+		counts[tier]++
+	}
+	out := TierSkew{}
+	if counts[0] > 0 {
+		out.Hub = sums[0] / float64(counts[0])
+	}
+	if counts[1] > 0 {
+		out.Gateway = sums[1] / float64(counts[1])
+	}
+	if counts[2] > 0 {
+		out.Member = sums[2] / float64(counts[2])
+	}
+	return out
+}
+
+// Resets returns the total clock resets across all nodes.
+func (e *Engine) Resets() uint64 {
+	var n uint64
+	for _, r := range e.resets {
+		n += uint64(r)
+	}
+	return n
+}
+
+// Inconsistencies returns the total inconsistent observations.
+func (e *Engine) Inconsistencies() uint64 {
+	var n uint64
+	for _, r := range e.incons {
+		n += uint64(r)
+	}
+	return n
+}
+
+// Fingerprint folds every node's full state into one digest. Two runs
+// with equal fingerprints walked through byte-identical final states —
+// the determinism matrix test compares these across shard counts.
+func (e *Engine) Fingerprint() string {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	for i := 0; i < e.n; i++ {
+		mix(math.Float64bits(e.off[i]))
+		mix(math.Float64bits(e.eps[i]))
+		mix(math.Float64bits(e.resetRef[i]))
+		mix(math.Float64bits(e.a[i]))
+		mix(math.Float64bits(e.b[i]))
+		mix(uint64(e.round[i]))
+		mix(uint64(e.used[i]))
+		mix(uint64(e.resets[i]))
+		mix(uint64(e.incons[i]))
+		if e.down[i] {
+			mix(1)
+		}
+	}
+	return fmt.Sprintf("%016x", h)
+}
+

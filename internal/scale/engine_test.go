@@ -1,0 +1,281 @@
+package scale
+
+import (
+	"math"
+	"testing"
+
+	"disttime/internal/par"
+)
+
+// testConfig is a small stratified service: 8 regions so the determinism
+// matrix can exercise up to 8 shards.
+func testConfig(scenario Scenario, shards int, seed uint64) Config {
+	cfg := Config{
+		Topo:         Topology{Regions: 8, Clusters: 2, Members: 4},
+		Shards:       shards,
+		Seed:         seed,
+		Tau:          30,
+		Delta:        1e-4,
+		DriftMax:     0.99e-4,
+		InitialError: 0.05,
+		Member:       Band{Min: 0.0002, Max: 0.002},
+		Uplink:       Band{Min: 0.002, Max: 0.01},
+		Backbone:     Band{Min: 0.02, Max: 0.08},
+		Rule:         RuleIM,
+		Scenario:     scenario,
+	}
+	switch scenario {
+	case Chaos:
+		cfg.FalsetickerFrac = 0.1
+		cfg.Loss = 0.05
+		cfg.DelayFactor = 4
+		cfg.DelayFrom = 120
+		cfg.DelayUntil = 240
+	case Churn:
+		cfg.LeaveProb = 0.05
+	}
+	return cfg
+}
+
+func runFingerprint(t *testing.T, cfg Config, until float64) string {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	e.Run(until)
+	if e.Steps() == 0 {
+		t.Fatal("engine executed no events")
+	}
+	return e.Fingerprint()
+}
+
+// TestDeterminismMatrix is the cross-kernel determinism test: for plain,
+// chaos, and churn scenarios, seeded runs must be byte-identical across
+// shards 1, 2, 4, and 8 — and shards=1 (single heap, unbounded window)
+// IS the sequential kernel, so each row also checks sharded-vs-sequential
+// equality. Run under -race with a real worker budget this doubles as
+// the kernel's concurrency regression test.
+func TestDeterminismMatrix(t *testing.T) {
+	prev := par.SetLimit(4)
+	defer par.SetLimit(prev)
+	for _, scenario := range []Scenario{Plain, Chaos, Churn} {
+		name := map[Scenario]string{Plain: "plain", Chaos: "chaos", Churn: "churn"}[scenario]
+		t.Run(name, func(t *testing.T) {
+			sequential := runFingerprint(t, testConfig(scenario, 1, 42), 600)
+			for _, shards := range []int{2, 4, 8} {
+				got := runFingerprint(t, testConfig(scenario, shards, 42), 600)
+				if got != sequential {
+					t.Fatalf("%s shards=%d: fingerprint %s, sequential %s",
+						name, shards, got, sequential)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismSeedSensitivity checks the fingerprint actually depends
+// on the seed.
+func TestDeterminismSeedSensitivity(t *testing.T) {
+	a := runFingerprint(t, testConfig(Plain, 2, 1), 300)
+	b := runFingerprint(t, testConfig(Plain, 2, 2), 300)
+	if a == b {
+		t.Fatalf("different seeds produced identical fingerprint %s", a)
+	}
+}
+
+// TestCorrectnessHonestRun checks Theorem 1 at scale: in a fault-free run
+// with valid drift bounds, every node's true offset stays inside its
+// reported error at every sample.
+func TestCorrectnessHonestRun(t *testing.T) {
+	cfg := testConfig(Plain, 4, 7)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, ts := range []float64{60, 300, 900, 1800} {
+		e.Run(ts)
+		for i := 0; i < e.Nodes(); i++ {
+			off := math.Abs(e.read(int32(i), ts) - ts)
+			bound := e.errAt(int32(i), ts)
+			if off > bound {
+				t.Fatalf("t=%v node %d: |C-t| = %v exceeds E = %v", ts, i, off, bound)
+			}
+		}
+	}
+	if e.Resets() == 0 {
+		t.Fatal("no clock resets in an IM run")
+	}
+}
+
+// TestSyncBeatsNoSync checks the protocol does something: with
+// synchronization the mean reported error stays far below the unsynced
+// drift accumulation (InitialError + t*Delta).
+func TestSyncBeatsNoSync(t *testing.T) {
+	cfg := testConfig(Plain, 2, 11)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const until = 3600
+	e.Run(until)
+	unsynced := cfg.InitialError + until*cfg.Delta
+	if got := e.MeanError(until); got > unsynced/2 {
+		t.Fatalf("mean error %v after %vs, want well under unsynced %v", got, until, unsynced)
+	}
+	if got := e.MeanAbsOffset(until); got > cfg.InitialError {
+		t.Fatalf("mean |C-t| = %v grew beyond the initial error %v", got, cfg.InitialError)
+	}
+}
+
+// TestMMRule checks algorithm MM runs and resets clocks too.
+func TestMMRule(t *testing.T) {
+	cfg := testConfig(Plain, 2, 13)
+	cfg.Rule = RuleMM
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run(1200)
+	if e.Resets() == 0 {
+		t.Fatal("no clock resets in an MM run")
+	}
+	// MM determinism across shard counts.
+	one := runFingerprint(t, withRule(testConfig(Plain, 1, 13), RuleMM), 600)
+	four := runFingerprint(t, withRule(testConfig(Plain, 4, 13), RuleMM), 600)
+	if one != four {
+		t.Fatalf("MM fingerprints diverge: %s vs %s", one, four)
+	}
+}
+
+func withRule(cfg Config, r Rule) Config { cfg.Rule = r; return cfg }
+
+// TestChurnTakesNodesDown checks churn actually removes nodes for a
+// while and the service still resets clocks.
+func TestChurnTakesNodesDown(t *testing.T) {
+	cfg := testConfig(Churn, 2, 17)
+	cfg.LeaveProb = 0.3
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run(95) // a few rounds in, some nodes should be down
+	downNow := 0
+	for i := range e.down {
+		if e.down[i] {
+			downNow++
+		}
+	}
+	if downNow == 0 {
+		t.Fatal("no node down under LeaveProb=0.3")
+	}
+	e.Run(1200)
+	if e.Resets() == 0 {
+		t.Fatal("churn run performed no resets")
+	}
+}
+
+// TestChaosCountsInconsistencies checks falsetickers are detected as
+// inconsistent observations.
+func TestChaosCountsInconsistencies(t *testing.T) {
+	cfg := testConfig(Chaos, 2, 19)
+	cfg.FalsetickerFrac = 0.25
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run(1800)
+	if e.Inconsistencies() == 0 {
+		t.Fatal("no inconsistencies observed with 25% falsetickers")
+	}
+}
+
+// TestSkewGradient checks the stratified skew sampler: all three tiers
+// populated, and the hierarchy keeps every tier's skew bounded.
+func TestSkewGradient(t *testing.T) {
+	cfg := testConfig(Plain, 4, 23)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const until = 1800
+	e.Run(until)
+	sk := e.Skew(until)
+	for name, v := range map[string]float64{"hub": sk.Hub, "gateway": sk.Gateway, "member": sk.Member} {
+		if v <= 0 || v > cfg.InitialError {
+			t.Fatalf("%s skew = %v, want in (0, %v]", name, v, cfg.InitialError)
+		}
+	}
+}
+
+// TestMeshTopology checks the 1x1xN degenerate hierarchy (the theorems'
+// full mesh) shards by node blocks and stays deterministic.
+func TestMeshTopology(t *testing.T) {
+	mesh := func(shards int) Config {
+		return Config{
+			Topo: Topology{Regions: 1, Clusters: 1, Members: 16},
+			Shards: shards, Seed: 5, Tau: 60,
+			Delta: 1e-4, DriftMax: 0.99e-4, InitialError: 0.05,
+			Member: Band{Min: 0.0001, Max: 0.0005},
+			Rule:   RuleIM,
+		}
+	}
+	one := runFingerprint(t, mesh(1), 1200)
+	four := runFingerprint(t, mesh(4), 1200)
+	if one != four {
+		t.Fatalf("mesh fingerprints diverge: %s vs %s", one, four)
+	}
+	e, err := New(mesh(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Shards() != 4 {
+		t.Fatalf("mesh Shards() = %d, want 4", e.Shards())
+	}
+}
+
+// TestKSampling checks sampled-peer rounds (K > 0) work and stay
+// deterministic across shard counts.
+func TestKSampling(t *testing.T) {
+	with := func(shards int) Config {
+		cfg := testConfig(Plain, shards, 29)
+		cfg.K = 2
+		return cfg
+	}
+	one := runFingerprint(t, with(1), 600)
+	eight := runFingerprint(t, with(8), 600)
+	if one != eight {
+		t.Fatalf("K-sampled fingerprints diverge: %s vs %s", one, eight)
+	}
+}
+
+// TestConfigValidation covers New's rejection paths.
+func TestConfigValidation(t *testing.T) {
+	base := testConfig(Plain, 1, 1)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"one member", func(c *Config) { c.Topo.Members = 1 }},
+		{"zero tau", func(c *Config) { c.Tau = 0 }},
+		{"negative delta", func(c *Config) { c.Delta = -1 }},
+		{"loss 1", func(c *Config) { c.Loss = 1 }},
+		{"shrinking delay factor", func(c *Config) { c.DelayFactor = 0.5 }},
+		{"zero backbone min sharded", func(c *Config) { c.Shards = 4; c.Backbone.Min = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("%s: config accepted", tc.name)
+		}
+	}
+}

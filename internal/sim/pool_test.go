@@ -27,6 +27,37 @@ func TestEventPoolReuse(t *testing.T) {
 	}
 }
 
+// TestEventPoolCap checks pool retention after a spike: a burst far above
+// maxFree simultaneously-pending events must not be pinned by the free
+// list once it drains — the pool keeps at most maxFree structs, and the
+// rest are surrendered to the garbage collector.
+func TestEventPoolCap(t *testing.T) {
+	s := New(1)
+	const spike = maxFree * 3
+	fired := 0
+	for i := 0; i < spike; i++ {
+		s.At(1, func() { fired++ })
+	}
+	s.Run()
+	if fired != spike {
+		t.Fatalf("fired %d events, want %d", fired, spike)
+	}
+	if len(s.free) > maxFree {
+		t.Fatalf("pool retains %d events after a %d-event spike, want <= %d",
+			len(s.free), spike, maxFree)
+	}
+	// The capped pool must still recycle: a steady cycle after the spike
+	// stays allocation-free.
+	cb := func(any) {}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.AfterCall(1, cb, nil)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("post-spike schedule/fire cycle allocates %v per op, want 0", allocs)
+	}
+}
+
 // TestEventPoolAllocs measures steady-state allocations of a
 // schedule/fire cycle: zero once the pool is warm.
 func TestEventPoolAllocs(t *testing.T) {

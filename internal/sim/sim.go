@@ -121,9 +121,20 @@ func (s *Simulator) alloc() *Event {
 	return &Event{}
 }
 
+// maxFree caps the event pool. Steady-state workloads stay far below the
+// cap and remain allocation-free; a transient spike (a 100k-server
+// scenario scheduling one burst) no longer pins its high-water mark of
+// *Event structs for the simulator's whole lifetime — the excess is
+// dropped to the garbage collector as it fires.
+const maxFree = 1 << 14
+
 // release returns a popped event to the pool, dropping callback references
-// so closures do not outlive their event.
+// so closures do not outlive their event. Beyond maxFree the event is
+// discarded instead of pooled.
 func (s *Simulator) release(e *Event) {
+	if len(s.free) >= maxFree {
+		return
+	}
 	e.fn = nil
 	e.call = nil
 	e.arg = nil

@@ -1,0 +1,162 @@
+package simnet
+
+import "fmt"
+
+// This file builds the stratified topology of planet-scale runs: regions
+// of clusters of member meshes, the shape the sharded kernel partitions
+// along. The paper's Xerox Research Internet was two tiers (Ethernets
+// joined by leased lines); at 10^5 servers a third tier appears —
+// clusters within a region keep fast links, regions meet only over the
+// slow backbone — and that backbone's minimum delay is exactly the
+// conservative lookahead a region-per-shard partition may use.
+
+// MinBounder is implemented by delay models that know a lower bound on
+// their samples. The bound feeds the sharded kernel's lookahead: a
+// partition is safe when every link crossing it has a positive minimum
+// delay.
+type MinBounder interface {
+	// MinBound returns a lower bound on sampled delays.
+	MinBound() float64
+}
+
+// MinBound returns the model's lower bound.
+func (u Uniform) MinBound() float64 {
+	if u.Max < u.Min {
+		return u.Max
+	}
+	return u.Min
+}
+
+// MinBound returns the fixed delay.
+func (c Constant) MinBound() float64 { return c.D }
+
+// MinBound returns the exponential's shift.
+func (e TruncExp) MinBound() float64 {
+	if e.Max < e.Min {
+		return e.Max
+	}
+	return e.Min
+}
+
+// MinBound scales the inner model's lower bound.
+func (s Scaled) MinBound() float64 {
+	if mb, ok := s.M.(MinBounder); ok {
+		return mb.MinBound() * s.Factor
+	}
+	return 0
+}
+
+// minDelay returns the smaller lower bound of the link's two directions,
+// zero when a model does not expose one.
+func (cfg LinkConfig) minDelay() float64 {
+	lower := func(m DelayModel) float64 {
+		if mb, ok := m.(MinBounder); ok {
+			return mb.MinBound()
+		}
+		return 0
+	}
+	b := lower(cfg.Delay)
+	if cfg.ReverseDelay != nil {
+		if r := lower(cfg.ReverseDelay); r < b {
+			b = r
+		}
+	}
+	return b
+}
+
+// HierarchyConfig shapes a three-tier topology.
+type HierarchyConfig struct {
+	// Regions is the number of top-level regions. Required > 0.
+	Regions int
+	// ClustersPerRegion is the number of clusters in each region.
+	// Required > 0.
+	ClustersPerRegion int
+	// MembersPerCluster is the full-mesh size of each cluster.
+	// Required > 0.
+	MembersPerCluster int
+	// Member is the link config inside a cluster's mesh.
+	Member LinkConfig
+	// Uplink joins each cluster's gateway to its region hub.
+	Uplink LinkConfig
+	// Backbone joins region hubs pairwise (full mesh of hubs).
+	Backbone LinkConfig
+}
+
+// Hierarchy is a built three-tier topology. Node ids are dense and
+// contiguous per region — regions are whole id ranges, so a
+// region-per-shard partition of the sharded kernel is a contiguous block
+// partition.
+type Hierarchy struct {
+	// Nodes[r][c] lists cluster c of region r; element 0 is the cluster
+	// gateway. Cluster 0's gateway is the region hub.
+	Nodes [][][]NodeID
+	cfg   HierarchyConfig
+}
+
+// BuildHierarchy adds Regions*ClustersPerRegion*MembersPerCluster fresh
+// nodes (nil handlers) to n and links them: a full mesh per cluster,
+// gateway-to-hub uplinks per region, and a full mesh of region hubs.
+func BuildHierarchy(n *Network, cfg HierarchyConfig) (*Hierarchy, error) {
+	if cfg.Regions <= 0 || cfg.ClustersPerRegion <= 0 || cfg.MembersPerCluster <= 0 {
+		return nil, fmt.Errorf("simnet: hierarchy %d x %d x %d must be positive",
+			cfg.Regions, cfg.ClustersPerRegion, cfg.MembersPerCluster)
+	}
+	h := &Hierarchy{Nodes: make([][][]NodeID, cfg.Regions), cfg: cfg}
+	hubs := make([]NodeID, cfg.Regions)
+	for r := 0; r < cfg.Regions; r++ {
+		h.Nodes[r] = make([][]NodeID, cfg.ClustersPerRegion)
+		for c := 0; c < cfg.ClustersPerRegion; c++ {
+			ids := make([]NodeID, cfg.MembersPerCluster)
+			for i := range ids {
+				ids[i] = n.AddNode(nil)
+			}
+			if err := FullMesh(n, ids, cfg.Member); err != nil {
+				return nil, err
+			}
+			h.Nodes[r][c] = ids
+		}
+		hubs[r] = h.Nodes[r][0][0]
+		for c := 1; c < cfg.ClustersPerRegion; c++ {
+			if err := n.Connect(h.Nodes[r][c][0], hubs[r], cfg.Uplink); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.Regions > 1 {
+		if err := FullMesh(n, hubs, cfg.Backbone); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// NodeCount returns the total number of nodes in the hierarchy.
+func (h *Hierarchy) NodeCount() int {
+	return h.cfg.Regions * h.cfg.ClustersPerRegion * h.cfg.MembersPerCluster
+}
+
+// Hubs returns the region hub ids in region order.
+func (h *Hierarchy) Hubs() []NodeID {
+	hubs := make([]NodeID, len(h.Nodes))
+	for r := range h.Nodes {
+		hubs[r] = h.Nodes[r][0][0]
+	}
+	return hubs
+}
+
+// RegionOf maps a node id back to its region index. Ids issued by
+// BuildHierarchy are contiguous per region.
+func (h *Hierarchy) RegionOf(id NodeID) int {
+	first := int(h.Nodes[0][0][0])
+	return (int(id) - first) / (h.cfg.ClustersPerRegion * h.cfg.MembersPerCluster)
+}
+
+// Lookahead returns the minimum delay of any inter-region link — the safe
+// window length for a region-per-shard partition. Zero means the backbone
+// model exposes no lower bound and the partition is not safely shardable.
+func (h *Hierarchy) Lookahead() float64 {
+	if h.cfg.Regions <= 1 {
+		return 0
+	}
+	return h.cfg.Backbone.minDelay()
+}

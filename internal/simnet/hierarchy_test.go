@@ -1,0 +1,114 @@
+package simnet
+
+import (
+	"testing"
+
+	"disttime/internal/sim"
+)
+
+func TestBuildHierarchy(t *testing.T) {
+	s := sim.New(1)
+	n := New(s)
+	cfg := HierarchyConfig{
+		Regions: 3, ClustersPerRegion: 2, MembersPerCluster: 4,
+		Member:   LinkConfig{Delay: Uniform{Min: 0.001, Max: 0.005}},
+		Uplink:   LinkConfig{Delay: Uniform{Min: 0.01, Max: 0.03}},
+		Backbone: LinkConfig{Delay: Uniform{Min: 0.05, Max: 0.1}},
+	}
+	h, err := BuildHierarchy(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NodeCount() != 24 {
+		t.Fatalf("NodeCount() = %d, want 24", h.NodeCount())
+	}
+	// Cluster meshes are fully connected.
+	c := h.Nodes[1][1]
+	for i := 0; i < len(c); i++ {
+		for j := i + 1; j < len(c); j++ {
+			if !n.Connected(c[i], c[j]) {
+				t.Fatalf("cluster members %d and %d not connected", c[i], c[j])
+			}
+		}
+	}
+	// Uplinks: non-hub cluster gateways reach their region hub.
+	hubs := h.Hubs()
+	if len(hubs) != 3 {
+		t.Fatalf("Hubs() = %v", hubs)
+	}
+	if !n.Connected(h.Nodes[1][1][0], hubs[1]) {
+		t.Fatal("cluster gateway not linked to region hub")
+	}
+	// Backbone: hubs form a full mesh.
+	for i := 0; i < len(hubs); i++ {
+		for j := i + 1; j < len(hubs); j++ {
+			if !n.Connected(hubs[i], hubs[j]) {
+				t.Fatalf("hubs %d and %d not connected", hubs[i], hubs[j])
+			}
+		}
+	}
+	// Cross-cluster non-gateway members are NOT directly connected.
+	if n.Connected(h.Nodes[0][0][1], h.Nodes[0][1][1]) {
+		t.Fatal("members of different clusters directly connected")
+	}
+	// Region mapping is contiguous.
+	for r := range h.Nodes {
+		for _, cluster := range h.Nodes[r] {
+			for _, id := range cluster {
+				if h.RegionOf(id) != r {
+					t.Fatalf("RegionOf(%d) = %d, want %d", id, h.RegionOf(id), r)
+				}
+			}
+		}
+	}
+	// Lookahead is the backbone's minimum delay.
+	if got := h.Lookahead(); got < 0.05 || got > 0.05 {
+		t.Fatalf("Lookahead() = %v, want 0.05", got)
+	}
+}
+
+func TestBuildHierarchyValidation(t *testing.T) {
+	s := sim.New(1)
+	n := New(s)
+	if _, err := BuildHierarchy(n, HierarchyConfig{Regions: 0, ClustersPerRegion: 1, MembersPerCluster: 1}); err == nil {
+		t.Fatal("zero regions accepted")
+	}
+}
+
+func TestHierarchySingleRegionLookahead(t *testing.T) {
+	s := sim.New(1)
+	n := New(s)
+	h, err := BuildHierarchy(n, HierarchyConfig{
+		Regions: 1, ClustersPerRegion: 2, MembersPerCluster: 2,
+		Member: LinkConfig{Delay: Constant{D: 0.001}},
+		Uplink: LinkConfig{Delay: Constant{D: 0.01}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Lookahead(); got < 0 || got > 0 {
+		t.Fatalf("single-region Lookahead() = %v, want 0", got)
+	}
+}
+
+func TestMinBounds(t *testing.T) {
+	cases := []struct {
+		m    DelayModel
+		want float64
+	}{
+		{Uniform{Min: 0.01, Max: 0.05}, 0.01},
+		{Constant{D: 0.02}, 0.02},
+		{TruncExp{Min: 0.005, Mean: 0.01, Max: 0.1}, 0.005},
+		{Scaled{M: Uniform{Min: 0.01, Max: 0.05}, Factor: 3}, 0.03},
+	}
+	for _, c := range cases {
+		mb, ok := c.m.(MinBounder)
+		if !ok {
+			t.Fatalf("%T does not implement MinBounder", c.m)
+		}
+		got := mb.MinBound()
+		if got < c.want || got > c.want {
+			t.Fatalf("%T MinBound() = %v, want %v", c.m, got, c.want)
+		}
+	}
+}

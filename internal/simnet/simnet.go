@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"sync/atomic"
 
 	"disttime/internal/obs"
 	"disttime/internal/sim"
@@ -207,7 +208,7 @@ type delivery struct {
 func deliver(x any) {
 	d := x.(*delivery)
 	n := d.net
-	n.Stats.Delivered++
+	n.Stats.Delivered.Add(1)
 	n.obsDelivered.Inc()
 	if h := n.handlers[d.msg.To]; h != nil {
 		h(d.msg)
@@ -216,13 +217,38 @@ func deliver(x any) {
 	n.free = append(n.free, d)
 }
 
-// Stats accumulates network counters.
+// Stats accumulates network counters. The fields are atomics so that
+// deliveries executing concurrently (shards of a partitioned kernel
+// draining their windows in parallel) can bump one shared Stats without
+// tearing; single-threaded simulations pay one uncontended atomic add per
+// counter, which is noise next to the delivery itself.
 type Stats struct {
-	Sent        int
-	Delivered   int
-	Lost        int
-	Partitioned int
-	NoLink      int
+	Sent        atomic.Int64
+	Delivered   atomic.Int64
+	Lost        atomic.Int64
+	Partitioned atomic.Int64
+	NoLink      atomic.Int64
+}
+
+// StatsSnapshot is a plain-value copy of Stats for reporting.
+type StatsSnapshot struct {
+	Sent        int64
+	Delivered   int64
+	Lost        int64
+	Partitioned int64
+	NoLink      int64
+}
+
+// Snapshot reads all counters. Under concurrent traffic the fields are
+// individually, not mutually, consistent — fine for reporting.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Sent:        s.Sent.Load(),
+		Delivered:   s.Delivered.Load(),
+		Lost:        s.Lost.Load(),
+		Partitioned: s.Partitioned.Load(),
+		NoLink:      s.NoLink.Load(),
+	}
 }
 
 // New returns an empty network driven by s.
@@ -341,19 +367,19 @@ func (n *Network) Send(from, to NodeID, payload any) bool {
 	}
 	cfg, ok := n.links[keyFor(from, to)]
 	if !ok {
-		n.Stats.NoLink++
+		n.Stats.NoLink.Add(1)
 		n.obsNoLink.Inc()
 		return false
 	}
 	if n.group[from] != n.group[to] {
-		n.Stats.Partitioned++
+		n.Stats.Partitioned.Add(1)
 		n.obsPartitioned.Inc()
 		return false
 	}
-	n.Stats.Sent++
+	n.Stats.Sent.Add(1)
 	n.obsSent.Inc()
 	if cfg.Loss > 0 && n.rng.Float64() < cfg.Loss {
-		n.Stats.Lost++
+		n.Stats.Lost.Add(1)
 		n.obsLost.Inc()
 		return true // sent, silently lost
 	}

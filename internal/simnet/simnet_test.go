@@ -3,6 +3,7 @@ package simnet
 import (
 	"math"
 	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"disttime/internal/sim"
@@ -120,8 +121,8 @@ func TestSendDeliversAfterDelay(t *testing.T) {
 	if got.From != ids[0] || got.To != ids[1] || got.Payload != "ping" || got.SentAt != 10 {
 		t.Errorf("message = %+v", got)
 	}
-	if n.Stats.Sent != 1 || n.Stats.Delivered != 1 {
-		t.Errorf("stats = %+v", n.Stats)
+	if n.Stats.Sent.Load() != 1 || n.Stats.Delivered.Load() != 1 {
+		t.Errorf("stats = %+v", n.Stats.Snapshot())
 	}
 }
 
@@ -130,8 +131,8 @@ func TestSendNoLink(t *testing.T) {
 	if n.Send(ids[0], ids[2], "x") {
 		t.Error("Send over missing link returned true")
 	}
-	if n.Stats.NoLink != 1 {
-		t.Errorf("NoLink = %d", n.Stats.NoLink)
+	if n.Stats.NoLink.Load() != 1 {
+		t.Errorf("NoLink = %d", n.Stats.NoLink.Load())
 	}
 	if n.Send(-1, ids[0], "x") || n.Send(ids[0], 99, "x") {
 		t.Error("Send with invalid ids returned true")
@@ -152,8 +153,8 @@ func TestSendLoss(t *testing.T) {
 		}
 	}
 	s.Run()
-	if n.Stats.Lost+delivered != total {
-		t.Errorf("lost %d + delivered %d != %d", n.Stats.Lost, delivered, total)
+	if n.Stats.Lost.Load()+int64(delivered) != total {
+		t.Errorf("lost %d + delivered %d != %d", n.Stats.Lost.Load(), delivered, total)
 	}
 	frac := float64(delivered) / total
 	if frac < 0.4 || frac > 0.6 {
@@ -236,8 +237,8 @@ func TestPartition(t *testing.T) {
 	if !n.Send(ids[0], ids[1], "x") {
 		t.Error("Send within partition returned false")
 	}
-	if n.Stats.Partitioned != 1 {
-		t.Errorf("Partitioned = %d", n.Stats.Partitioned)
+	if n.Stats.Partitioned.Load() != 1 {
+		t.Errorf("Partitioned = %d", n.Stats.Partitioned.Load())
 	}
 	if n.Connected(ids[0], ids[2]) {
 		t.Error("Connected across partition")
@@ -515,5 +516,37 @@ func TestAsymmetricRoundTripWithinXi(t *testing.T) {
 	}
 	if len(rtts) != 100 {
 		t.Fatalf("got %d round trips", len(rtts))
+	}
+}
+
+// TestStatsConcurrent hammers one Stats from many goroutines — the shape
+// of parallel shards delivering into a shared network — and checks no
+// increment is lost. Run under -race this is the regression test for the
+// former plain-int counters.
+func TestStatsConcurrent(t *testing.T) {
+	var st Stats
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				st.Sent.Add(1)
+				st.Delivered.Add(1)
+				if i%10 == 0 {
+					st.Lost.Add(1)
+				}
+				_ = st.Snapshot() // concurrent reads must be clean too
+			}
+		}()
+	}
+	wg.Wait()
+	snap := st.Snapshot()
+	if snap.Sent != workers*per || snap.Delivered != workers*per {
+		t.Fatalf("sent %d delivered %d, want %d each", snap.Sent, snap.Delivered, workers*per)
+	}
+	if snap.Lost != workers*per/10 {
+		t.Fatalf("lost %d, want %d", snap.Lost, workers*per/10)
 	}
 }
