@@ -17,12 +17,14 @@ RACE_PKGS = ./internal/par ./internal/sim/... ./internal/experiments \
 # membership state machine are the proof core, so untested lines there
 # are untested math. The sharded kernel and its worker pool join the
 # list because every untested line there is a potential determinism or
-# race hole.
+# race hole, and the lint package joins because an untested analyzer
+# rule is an invariant the tree only appears to satisfy.
 COVER_FLOOR_PKGS = ./internal/core ./internal/interval ./internal/member \
-                   ./internal/par ./internal/sim/shard ./internal/scale
+                   ./internal/par ./internal/sim/shard ./internal/scale \
+                   ./internal/lint
 COVER_FLOOR     ?= 85
 
-.PHONY: all build vet lint test check test-race cover cover-check chaos chaos-replay obs-smoke churn-smoke scale-smoke fuzz-smoke bench bench-scale experiments ablations examples clean
+.PHONY: all build vet lint noalloc-audit test check test-race cover cover-check chaos chaos-replay obs-smoke churn-smoke scale-smoke fuzz-smoke bench bench-scale experiments ablations examples clean
 
 all: build vet lint test
 
@@ -32,11 +34,22 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static-analysis gate: the five repo-specific invariant checks
-# (nowcheck, globalrand, floateq, mapiter, poolput) built on the standard
-# library only. See DESIGN.md §10 for the invariant each one guards.
+# Static-analysis gate: the nine repo-specific invariant checks
+# (nowcheck, globalrand, floateq, mapiter, poolput, guardedby, atomicmix,
+# noalloc, barrier) built on the standard library only. See DESIGN.md §10
+# and §15 for the invariant each one guards. The tree must be clean of
+# unsuppressed diagnostics, and every suppression carries a written
+# justification (the framework rejects reasons under three words).
 lint:
 	$(GO) run ./cmd/disttimelint ./...
+
+# Cross-check every //lint:noalloc annotation that cites benchmarks
+# against the recorded baseline: a cited benchmark must exist in
+# BENCH_BASELINE.json with allocs/op == 0, so the static proof (no
+# allocation constructs) and the measured evidence cannot silently
+# drift apart. Regenerate the baseline with `make bench`.
+noalloc-audit:
+	$(GO) run ./cmd/disttimelint -noalloc-audit BENCH_BASELINE.json ./...
 
 # Tier-1 gate: vet, the full suite, and a race pass over RACE_PKGS.
 test:
@@ -44,12 +57,13 @@ test:
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 
-# check = vet + lint + test + race + coverage floor + smokes: the
-# tier-1 tests, the lint gate, the proof-core coverage floor, the
+# check = vet + lint + noalloc audit + test + race + coverage floor +
+# smokes: the tier-1 tests, the lint gate, the annotation-vs-baseline
+# allocation audit, the proof-core coverage floor, the
 # observability/membership determinism smokes, the committed chaos
 # corpus replays, and the sharded-kernel scale smoke travel together
 # (race rides inside `test` via RACE_PKGS).
-check: vet lint test cover-check obs-smoke churn-smoke chaos-replay scale-smoke
+check: vet lint noalloc-audit test cover-check obs-smoke churn-smoke chaos-replay scale-smoke
 
 test-race:
 	$(GO) test -race $(RACE_PKGS)

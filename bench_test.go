@@ -16,10 +16,13 @@ import (
 	"math"
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"disttime"
 	"disttime/internal/experiments"
 	"disttime/internal/sim"
+	"disttime/internal/sim/shard"
+	"disttime/internal/wire"
 )
 
 func runExperiment(b *testing.B, fn func() (experiments.Table, error)) {
@@ -264,6 +267,71 @@ func BenchmarkSimEventChurn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.s.Reset(uint64(i))
 		churn()
+	}
+}
+
+// shardChurn is a self-rescheduling Handler for BenchmarkShardWindow:
+// every event re-arms itself one virtual second later, so the kernel's
+// heap stays at a constant size while windows, pushes, and pops churn.
+type shardChurn struct{}
+
+func (shardChurn) Event(p *shard.Proc, ev shard.Ev) {
+	p.After(ev.Node, 1, ev.Kind, ev.Tag, ev.A, ev.B)
+}
+
+// BenchmarkShardWindow measures the sharded kernel's window loop: 64
+// nodes firing one self-rescheduling timer per virtual second, 1000
+// virtual seconds per op. Steady state is allocation-free — value events
+// on a preallocated heap, no closures, no boxing (the //lint:noalloc
+// annotations on push/pop/runWindow are audited against this benchmark).
+func BenchmarkShardWindow(b *testing.B) {
+	k, err := shard.New(shard.Config{Nodes: 64, Seed: 9, Handler: shardChurn{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer k.Close()
+	for n := int32(0); n < 64; n++ {
+		k.Seed(n, 0.5, 1, 0, 0, 0)
+	}
+	k.Run(1000) // warm the heap to its steady size
+	until := 1000.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		until += 1000
+		k.Run(until)
+	}
+}
+
+// BenchmarkWireRoundTrip measures one request/response encode+decode
+// round trip on the UDP wire path against reused buffers — the per-query
+// serialization cost of the real service. 0 allocs/op; the wire codec's
+// //lint:noalloc annotations are audited against this benchmark.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	reqBuf := make([]byte, 0, wire.RequestSize)
+	respBuf := make([]byte, 0, wire.ResponseSize)
+	resp := wire.Response{
+		ReqID:    7,
+		ServerID: 3,
+		Clock:    time.Unix(0, 1_700_000_000_000_000_000),
+		MaxError: 250 * time.Microsecond,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqBuf = wire.AppendRequest(reqBuf[:0], wire.Request{ReqID: uint64(i)})
+		req, err := wire.ParseRequest(reqBuf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.ReqID = req.ReqID
+		respBuf, err = wire.AppendResponse(respBuf[:0], resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err = wire.ParseResponse(respBuf); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

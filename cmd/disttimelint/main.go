@@ -1,17 +1,22 @@
-// Command disttimelint runs disttime's in-tree static analyzers: five
+// Command disttimelint runs disttime's in-tree static analyzers: nine
 // repo-specific invariant checks (nowcheck, globalrand, floateq, mapiter,
-// poolput) built on the standard library's go/ast and go/types, with no
-// external dependencies. See internal/lint for the framework and
-// DESIGN.md §10 for the invariant each check guards.
+// poolput, guardedby, atomicmix, noalloc, barrier) built on the standard
+// library's go/ast and go/types, with no external dependencies. See
+// internal/lint for the framework and DESIGN.md §10 and §15 for the
+// invariant each check guards.
 //
 // Usage:
 //
 //	disttimelint [-json] [-checks nowcheck,floateq] [patterns...]
+//	disttimelint -noalloc-audit BENCH_BASELINE.json [patterns...]
 //
 // Patterns are package directories or recursive "dir/..." walks (default
 // "./..."). The exit code is 0 when clean, 1 on findings, 2 on load or
-// usage errors. Findings can be suppressed line-by-line with a justified
-// "//lint:ignore <check> <reason>" directive.
+// usage errors. Findings can be suppressed line-by-line with a
+// "//lint:ignore <check> <reason>" directive whose reason is a written
+// justification of at least three words. The -noalloc-audit mode
+// cross-checks every benchmark cited by a //lint:noalloc annotation
+// against the measured allocs/op in the given baseline.
 package main
 
 import (

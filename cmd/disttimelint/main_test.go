@@ -27,14 +27,15 @@ func TestLintMainFromCmdDir(t *testing.T) {
 	}
 }
 
-// TestLintUsage lists all five checks in the usage text.
+// TestLintUsage lists all nine checks in the usage text.
 func TestLintUsage(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := lint.Main([]string{"-h"}, &out, &errb)
 	if code != lint.ExitError {
 		t.Fatalf("-h: exit %d", code)
 	}
-	for _, check := range []string{"nowcheck", "globalrand", "floateq", "mapiter", "poolput"} {
+	for _, check := range []string{"nowcheck", "globalrand", "floateq", "mapiter", "poolput",
+		"guardedby", "atomicmix", "noalloc", "barrier"} {
 		if !strings.Contains(errb.String(), check) {
 			t.Errorf("usage missing %s:\n%s", check, errb.String())
 		}

@@ -99,6 +99,8 @@ func (iv Interval) Grow(e float64) Interval {
 // The boolean result is false when the intervals are disjoint (the servers
 // are inconsistent); the returned interval is then inverted and should not
 // be used as a time estimate.
+//
+//lint:noalloc
 func (iv Interval) Intersect(other Interval) (Interval, bool) {
 	out := Interval{Lo: math.Max(iv.Lo, other.Lo), Hi: math.Min(iv.Hi, other.Hi)}
 	return out, out.Lo <= out.Hi
@@ -120,6 +122,8 @@ func (iv Interval) String() string {
 // non-empty. An empty input yields (zero Interval, false): with no evidence
 // there is no defined estimate. A service whose intervals have a non-empty
 // common intersection is consistent in the paper's sense.
+//
+//lint:noalloc
 func IntersectAll(ivs []Interval) (Interval, bool) {
 	if len(ivs) == 0 {
 		return Interval{}, false
@@ -196,6 +200,8 @@ func NewSweeper(n int) *Sweeper {
 
 // load fills the scratch edge list from the valid members of ivs and sorts
 // it. It reports the number of edges loaded.
+//
+//lint:noalloc
 func (sw *Sweeper) load(ivs []Interval) int {
 	edges := sw.edges[:0]
 	for i, iv := range ivs {
@@ -214,6 +220,8 @@ func (sw *Sweeper) load(ivs []Interval) int {
 }
 
 // Marzullo is the Sweeper form of the package-level Marzullo.
+//
+//lint:noalloc BenchmarkMarzulloSweep,BenchmarkMarzulloSweep1000
 func (sw *Sweeper) Marzullo(ivs []Interval) Best {
 	if sw.load(ivs) == 0 {
 		return Best{}
@@ -231,6 +239,8 @@ func (sw *Sweeper) Marzullo(ivs []Interval) Best {
 }
 
 // MarzulloAtLeast is the Sweeper form of the package-level MarzulloAtLeast.
+//
+//lint:noalloc
 func (sw *Sweeper) MarzulloAtLeast(ivs []Interval, m int) (Interval, bool) {
 	if m <= 0 {
 		return Interval{}, false
@@ -262,6 +272,8 @@ var sweeperPool = sync.Pool{New: func() any { return NewSweeper(16) }}
 //
 // It runs in O(n log n). For an empty input it returns a zero Best.
 // Inverted inputs are ignored.
+//
+//lint:noalloc BenchmarkMarzulloSweep,BenchmarkMarzulloSweep1000
 func Marzullo(ivs []Interval) Best {
 	sw := sweeperPool.Get().(*Sweeper)
 	best := sw.Marzullo(ivs)
@@ -271,6 +283,8 @@ func Marzullo(ivs []Interval) Best {
 
 // MarzulloAtLeast returns the leftmost maximal interval covered by at least
 // m source intervals, and whether one exists. m must be positive.
+//
+//lint:noalloc
 func MarzulloAtLeast(ivs []Interval, m int) (Interval, bool) {
 	sw := sweeperPool.Get().(*Sweeper)
 	iv, ok := sw.MarzulloAtLeast(ivs, m)

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces all-or-nothing atomicity: once any access to a field
+// or package-level variable goes through sync/atomic (atomic.AddUint64,
+// atomic.LoadInt64, ...), every access must. A plain load concurrent with
+// an atomic store can tear or read a stale value, the compiler is free to
+// cache or reorder the plain access, and — worst for this repository —
+// the race detector only reports the mix if a test happens to schedule
+// both sides. simnet.Stats, the obs counters, and the par worker budget
+// are the live targets; they use typed atomics today precisely because a
+// mixed access cannot compile, and this analyzer keeps any future
+// raw-uint64 counter honest too.
+//
+// The check is per-package: an atomic access in one package does not
+// protect a field from plain access in another (DESIGN.md §15 lists this
+// blind spot; exported fields that need atomicity should use the typed
+// sync/atomic wrappers, which make mixing impossible in any package).
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field or variable accessed via sync/atomic must never be plain-loaded or stored",
+	Run:  runAtomicMix,
+}
+
+// atomicFuncs are the sync/atomic package functions whose first argument
+// is the address of the shared word.
+func isAtomicFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := fn.Name()
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicTarget resolves the operand of &expr in an atomic call to the
+// struct field or variable object it names, plus the position of the
+// naming ident (sanctioned: it is an atomic access, not a plain one).
+// Expressions whose root is not a field or variable (map indexes,
+// function results) return nil.
+func atomicTarget(pass *Pass, e ast.Expr) (*types.Var, token.Pos) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := pass.Pkg.Info.Uses[x].(*types.Var); ok {
+			return v, x.NamePos
+		}
+	case *ast.SelectorExpr:
+		if v, ok := pass.Pkg.Info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+			return v, x.Sel.NamePos
+		}
+	case *ast.ParenExpr:
+		return atomicTarget(pass, x.X)
+	}
+	return nil, token.NoPos
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: find every object (struct field or variable) whose address
+	// is passed to a sync/atomic function, and remember the sanctioned
+	// reference positions (the idents inside those calls).
+	atomicObjs := make(map[*types.Var]token.Pos) // object -> first atomic use
+	sanctioned := make(map[token.Pos]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isAtomicFunc(fn) {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			obj, refPos := atomicTarget(pass, addr.X)
+			if obj == nil {
+				return true
+			}
+			if _, seen := atomicObjs[obj]; !seen {
+				atomicObjs[obj] = call.Pos()
+			}
+			sanctioned[refPos] = true
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: every other reference to those objects is a plain access.
+	// (Selector fields reach here through their Sel ident, so one Ident
+	// case covers both s.field and bare-variable references.)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				// Construction sites are pre-publication by definition;
+				// skip the field keys (and walk the values).
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							sanctioned[id.NamePos] = true
+						}
+					}
+				}
+			case *ast.Ident:
+				obj, ok := pass.Pkg.Info.Uses[n].(*types.Var)
+				if !ok {
+					return true
+				}
+				firstAtomic, isAtomic := atomicObjs[obj]
+				if !isAtomic || sanctioned[n.NamePos] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"%s is accessed with sync/atomic at %s; this plain access can tear or read a stale value — use the atomic API everywhere (or a typed atomic)",
+					n.Name, pass.Pkg.Fset.Position(firstAtomic))
+			}
+			return true
+		})
+	}
+}

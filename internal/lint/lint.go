@@ -8,7 +8,7 @@
 // only reproduce when the simulator is bit-deterministic and the
 // zero-allocation hot paths stay pool-safe. Those are whole-program
 // invariants that conventions alone cannot protect across aggressive
-// refactors, so they are enforced by five repo-specific analyzers:
+// refactors, so they are enforced by nine repo-specific analyzers:
 //
 //	nowcheck   — wall-clock reads (time.Now/Since/Sleep) are confined to
 //	             the real-network packages; simulated code draws time from
@@ -24,13 +24,28 @@
 //	             experiment/trace output or caller-visible slices.
 //	poolput    — no use of a value after it was returned to its pool and
 //	             no storing pooled values into long-lived fields.
+//	guardedby  — a struct field accessed under a mutex by the majority of
+//	             its accesses must hold that mutex at every access; the
+//	             static complement to -race, covering schedules the race
+//	             detector never executes.
+//	atomicmix  — a field or variable touched via sync/atomic anywhere must
+//	             never be plain-loaded or stored elsewhere in the package.
+//	noalloc    — functions annotated //lint:noalloc must contain no
+//	             allocation-causing constructs (the shard event heap,
+//	             interval Sweeper, obs handles, and wire codec hot paths
+//	             carry the annotation).
+//	barrier    — sync.WaitGroup / epoch-pool misuse: Add racing Wait, Done
+//	             not reachable on all paths, re-Wait without re-arming,
+//	             nested Pool.Run on the same pool.
 //
 // Diagnostics can be suppressed with a justified directive on the same
 // line or the line above:
 //
 //	//lint:ignore <check> <reason>
 //
-// A directive without a reason is itself a diagnostic.
+// A directive without a reason — or with a token reason shorter than
+// three words — is itself a diagnostic: suppressions must explain
+// themselves to the next reader.
 package lint
 
 import (
@@ -83,7 +98,8 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full analyzer suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NowCheck, GlobalRand, FloatEq, MapIter, PoolPut}
+	return []*Analyzer{NowCheck, GlobalRand, FloatEq, MapIter, PoolPut,
+		GuardedBy, AtomicMix, NoAlloc, Barrier}
 }
 
 // Config scopes the analyzers to the repository's layout. The driver uses
@@ -99,6 +115,10 @@ type Config struct {
 	// MapIterScope lists import-path prefixes where mapiter applies
 	// (the packages that produce ordered experiment/trace output).
 	MapIterScope []string
+	// BarrierPools lists epoch-barrier pool types, as "pkgpath.Type",
+	// whose Run method is non-reentrant: the barrier analyzer flags a
+	// Run nested inside the same pool's Run.
+	BarrierPools []string
 }
 
 // DefaultConfig returns the repository's enforcement policy.
@@ -142,6 +162,11 @@ func DefaultConfig() *Config {
 			"disttime/cmd",
 			// Fixtures exercising the analyzer itself.
 			"disttime/internal/lint/testdata",
+		},
+		BarrierPools: []string{
+			// The epoch-barrier worker pool: Run inside Run deadlocks
+			// (workers are parked in the outer epoch).
+			"disttime/internal/par.Pool",
 		},
 	}
 }
@@ -209,7 +234,9 @@ const ignorePrefix = "//lint:ignore"
 // collectIgnores gathers //lint:ignore directives from the package's
 // comments. A directive suppresses the named check on its own line and the
 // line below. Directives missing a check name or a reason are reported as
-// diagnostics of check "lint".
+// diagnostics of check "lint", as are directives whose reason is shorter
+// than three words — a suppression must carry a written justification,
+// not a token.
 func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
 	set := make(ignoreSet)
 	var malformed []Diagnostic
@@ -229,6 +256,16 @@ func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
 						Line:    position.Line,
 						Col:     position.Column,
 						Message: "malformed //lint:ignore directive: want \"//lint:ignore <check> <reason>\"",
+					})
+					continue
+				}
+				if len(fields) < 4 {
+					malformed = append(malformed, Diagnostic{
+						Check:   "lint",
+						File:    position.Filename,
+						Line:    position.Line,
+						Col:     position.Column,
+						Message: "suppression reason too short: //lint:ignore must carry a written justification (at least three words)",
 					})
 					continue
 				}

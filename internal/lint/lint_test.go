@@ -34,6 +34,9 @@ func fixtureConfig() *Config {
 		"disttime/internal/lint/testdata/src/floateq.approvedHelper",
 		"disttime/internal/lint/testdata/src/floateq.edge.Less",
 	)
+	cfg.BarrierPools = append(cfg.BarrierPools,
+		"disttime/internal/lint/testdata/src/barrier.Pool",
+	)
 	return cfg
 }
 
@@ -122,6 +125,10 @@ func TestGlobalRand(t *testing.T) { runFixture(t, "globalrand", []*Analyzer{Glob
 func TestFloatEq(t *testing.T)    { runFixture(t, "floateq", []*Analyzer{FloatEq}) }
 func TestMapIter(t *testing.T)    { runFixture(t, "mapiter", []*Analyzer{MapIter}) }
 func TestPoolPut(t *testing.T)    { runFixture(t, "poolput", []*Analyzer{PoolPut}) }
+func TestGuardedBy(t *testing.T)  { runFixture(t, "guardedby", []*Analyzer{GuardedBy}) }
+func TestAtomicMix(t *testing.T)  { runFixture(t, "atomicmix", []*Analyzer{AtomicMix}) }
+func TestNoAlloc(t *testing.T)    { runFixture(t, "noalloc", []*Analyzer{NoAlloc}) }
+func TestBarrier(t *testing.T)    { runFixture(t, "barrier", []*Analyzer{Barrier}) }
 
 // TestCleanFixture runs the full suite over the clean fixture; it has no
 // want comments, so any diagnostic fails the bidirectional match.
@@ -138,11 +145,12 @@ func TestMalformedIgnore(t *testing.T) {
 			lintDiags = append(lintDiags, d)
 		}
 	}
-	if len(lintDiags) != 2 {
-		t.Fatalf("want 2 malformed-directive diagnostics, got %d: %v", len(lintDiags), diags)
+	if len(lintDiags) != 3 {
+		t.Fatalf("want 3 malformed-directive diagnostics, got %d: %v", len(lintDiags), diags)
 	}
 	for _, d := range lintDiags {
-		if !strings.Contains(d.Message, "malformed //lint:ignore") {
+		if !strings.Contains(d.Message, "malformed //lint:ignore") &&
+			!strings.Contains(d.Message, "suppression reason too short") {
 			t.Errorf("unexpected message %q", d.Message)
 		}
 	}

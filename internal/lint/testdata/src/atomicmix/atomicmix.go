@@ -1,0 +1,62 @@
+// Package atomicmix exercises the atomicmix analyzer: a field or
+// variable accessed through sync/atomic anywhere must never be
+// plain-loaded or stored elsewhere in the package.
+package atomicmix
+
+import "sync/atomic"
+
+// stats mixes an atomically-updated field (hits) with a plain one
+// (misses): only the former's plain accesses are findings.
+type stats struct {
+	hits   uint64
+	misses uint64
+}
+
+func (s *stats) hit() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// loadAtomic stays clean: the access goes through the atomic API.
+func (s *stats) loadAtomic() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+// readHits tears: a plain load concurrent with hit's atomic add.
+func (s *stats) readHits() uint64 {
+	return s.hits // want "hits is accessed with sync/atomic"
+}
+
+// resetHits tears the other way: a plain store.
+func (s *stats) resetHits() {
+	s.hits = 0 // want "hits is accessed with sync/atomic"
+}
+
+// miss touches only the never-atomic field: no diagnostic
+// (false-positive guard).
+func (s *stats) miss() {
+	s.misses++
+}
+
+// newStats constructs with composite-literal keys: construction is
+// pre-publication by definition, so the keys are exempt.
+func newStats() *stats {
+	return &stats{hits: 0, misses: 0}
+}
+
+// global shows the same rule on a package-level variable.
+var global uint64
+
+func bumpGlobal() {
+	atomic.AddUint64(&global, 1)
+}
+
+func readGlobal() uint64 {
+	return global // want "global is accessed with sync/atomic"
+}
+
+// initExclusive documents a deliberate plain write under external
+// synchronization.
+func initExclusive(s *stats) {
+	//lint:ignore atomicmix caller guarantees exclusive access during single-threaded initialization
+	s.hits = 0
+}

@@ -8,3 +8,6 @@ func missingEverything() {}
 
 //lint:ignore floateq
 func missingReason() {}
+
+//lint:ignore floateq because
+func tokenReason() {}

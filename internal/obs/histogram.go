@@ -28,6 +28,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//lint:noalloc
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -151,6 +153,8 @@ func newLogHistogram() *LogHistogram {
 
 // logIndex maps a positive value to its bucket index, clamping into the
 // covered range.
+//
+//lint:noalloc
 func logIndex(v float64) int {
 	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
 	if exp < logMinExp {
@@ -175,6 +179,8 @@ func logUpperBound(i int) float64 {
 }
 
 // Observe records one value.
+//
+//lint:noalloc
 func (h *LogHistogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -262,6 +268,8 @@ func (h *LogHistogram) Quantile(q float64) float64 {
 }
 
 // addFloat CAS-accumulates v into the float64 bits stored in bits.
+//
+//lint:noalloc
 func addFloat(bits *atomic.Uint64, v float64) {
 	for {
 		old := bits.Load()

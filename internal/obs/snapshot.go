@@ -47,24 +47,24 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	var s Snapshot
 	s.Counters = make([]CounterSnapshot, 0, len(r.counters))
-	for _, name := range r.counterNames() {
+	for _, name := range sortedNames(r.counters) {
 		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: r.counters[name].Value()})
 	}
 	s.Gauges = make([]GaugeSnapshot, 0, len(r.gauges))
-	for _, name := range r.gaugeNames() {
+	for _, name := range sortedNames(r.gauges) {
 		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: r.gauges[name].Value()})
 	}
 	s.Histograms = make([]HistogramSnapshot, 0, len(r.hists)+len(r.logs))
 	// Fixed and log histograms share one sorted namespace; fixed names
 	// sort first only if they compare first.
 	var hists []namedHist
-	for _, name := range r.histNames() {
+	for _, name := range sortedNames(r.hists) {
 		h := r.hists[name]
 		hists = append(hists, namedHist{name, HistogramSnapshot{
 			Name: name, Kind: "fixed", Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets(),
 		}})
 	}
-	for _, name := range r.logNames() {
+	for _, name := range sortedNames(r.logs) {
 		h := r.logs[name]
 		hists = append(hists, namedHist{name, HistogramSnapshot{
 			Name: name, Kind: "log", Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets(),
@@ -114,7 +114,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var buf []byte
-	for _, name := range r.counterNames() {
+	for _, name := range sortedNames(r.counters) {
 		buf = append(buf, "# TYPE "...)
 		buf = append(buf, name...)
 		buf = append(buf, " counter\n"...)
@@ -123,7 +123,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		buf = strconv.AppendUint(buf, r.counters[name].Value(), 10)
 		buf = append(buf, '\n')
 	}
-	for _, name := range r.gaugeNames() {
+	for _, name := range sortedNames(r.gauges) {
 		buf = append(buf, "# TYPE "...)
 		buf = append(buf, name...)
 		buf = append(buf, " gauge\n"...)
@@ -132,11 +132,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		buf = appendFloat(buf, r.gauges[name].Value())
 		buf = append(buf, '\n')
 	}
-	for _, name := range r.histNames() {
+	for _, name := range sortedNames(r.hists) {
 		buf = appendPromHistogram(buf, name, r.hists[name].cumulative(),
 			r.hists[name].Sum(), r.hists[name].Count())
 	}
-	for _, name := range r.logNames() {
+	for _, name := range sortedNames(r.logs) {
 		h := r.logs[name]
 		// Log histograms expose only their non-empty buckets,
 		// cumulated; the +Inf bucket is the total count.

@@ -114,16 +114,17 @@ type Config struct {
 
 // Kernel is a sharded simulator.
 type Kernel struct {
-	shards    []*Proc
-	shardOf   []int32
-	seqs      []uint64   // per-node event sequence, touched only by the owning shard
-	rngs      []rand.PCG // per-node PCG stream, touched only by the owning shard
-	handler   Handler
-	pool      *par.Pool
-	lookahead float64
-	now       float64
-	horizon   float64
-	lastBurst int // events executed in the previous window, for the inline heuristic
+	shards     []*Proc
+	shardOf    []int32
+	seqs       []uint64   // per-node event sequence, touched only by the owning shard
+	rngs       []rand.PCG // per-node PCG stream, touched only by the owning shard
+	handler    Handler
+	pool       *par.Pool
+	runShareFn func(int) // k.runShare bound once; a fresh method value per window would allocate
+	lookahead  float64
+	now        float64
+	horizon    float64
+	lastBurst  int // events executed in the previous window, for the inline heuristic
 
 	// Observability (nil-safe until Observe).
 	obsWindows  *obs.Counter
@@ -207,6 +208,7 @@ func New(cfg Config) (*Kernel, error) {
 		k.shards[i] = p
 	}
 	k.pool = par.NewPool(cfg.Shards)
+	k.runShareFn = k.runShare
 	return k, nil
 }
 
@@ -274,6 +276,8 @@ func (p *Proc) Float64(node int32) float64 {
 }
 
 // at schedules a timer event on a local node at absolute time at.
+//
+//lint:noalloc
 func (p *Proc) at(node int32, at float64, kind uint16, tag uint32, a, b float64) {
 	if p.k.shardOf[node] != p.id {
 		panic(fmt.Sprintf("shard: timer on node %d scheduled from shard %d (owner %d)",
@@ -286,6 +290,8 @@ func (p *Proc) at(node int32, at float64, kind uint16, tag uint32, a, b float64)
 
 // After schedules a timer on a local node d seconds from now. Negative
 // delays panic: they would reorder causality.
+//
+//lint:noalloc
 func (p *Proc) After(node int32, d float64, kind uint16, tag uint32, a, b float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("shard: negative delay %v", d))
@@ -296,6 +302,8 @@ func (p *Proc) After(node int32, d float64, kind uint16, tag uint32, a, b float6
 // Send schedules a message event from a local node to any node, arriving
 // after delay. Cross-shard sends must respect the configured lookahead
 // and buffer in the outbox until the window barrier.
+//
+//lint:noalloc
 func (p *Proc) Send(from, to int32, delay float64, kind uint16, tag uint32, a, b float64) {
 	if delay < 0 {
 		panic(fmt.Sprintf("shard: negative delay %v", delay))
@@ -317,6 +325,8 @@ func (p *Proc) Send(from, to int32, delay float64, kind uint16, tag uint32, a, b
 
 // runWindow executes the shard's events with At < horizon and advances
 // the shard clock to the horizon.
+//
+//lint:noalloc BenchmarkShardWindow
 func (p *Proc) runWindow(horizon float64) {
 	n := uint64(0)
 	for len(p.heap) > 0 && p.heap[0].At < horizon {
@@ -331,6 +341,8 @@ func (p *Proc) runWindow(horizon float64) {
 }
 
 // runShare is the pool body: one shard's window.
+//
+//lint:noalloc
 func (k *Kernel) runShare(i int) {
 	k.shards[i].runWindow(k.horizon)
 }
@@ -340,6 +352,8 @@ func (k *Kernel) runShare(i int) {
 // `until`. Events scheduled at exactly `until` run in the next call —
 // callers sample between calls, so the cut must be identical for every
 // shard count, and it is: the strict inequality is partition-independent.
+//
+//lint:noalloc BenchmarkShardWindow
 func (k *Kernel) Run(until float64) {
 	for {
 		tNext := math.Inf(1)
@@ -359,7 +373,7 @@ func (k *Kernel) Run(until float64) {
 		if len(k.shards) == 1 {
 			k.shards[0].runWindow(horizon)
 		} else if k.lastBurst >= inlineBurst && k.pool.Workers() > 0 {
-			k.pool.Run(k.runShare)
+			k.pool.Run(k.runShareFn)
 		} else {
 			for i := range k.shards {
 				k.runShare(i)
@@ -390,6 +404,8 @@ func (k *Kernel) Run(until float64) {
 // depends only on its contents, never on insertion order — so execution
 // is identical for any drain order, and the fixed order makes even the
 // heap layout reproducible.
+//
+//lint:noalloc
 func (k *Kernel) exchange() {
 	for dst, dp := range k.shards {
 		total := 0
@@ -434,6 +450,8 @@ func less(a, b *Ev) bool {
 // level rather than two.
 
 // push inserts ev.
+//
+//lint:noalloc BenchmarkShardWindow
 func (p *Proc) push(ev Ev) {
 	q := append(p.heap, ev)
 	i := len(q) - 1
@@ -451,6 +469,8 @@ func (p *Proc) push(ev Ev) {
 
 // pop removes and returns the minimum event, sifting a hole down for the
 // displaced last element. The heap must be non-empty.
+//
+//lint:noalloc BenchmarkShardWindow
 func (p *Proc) pop() Ev {
 	q := p.heap
 	top := q[0]

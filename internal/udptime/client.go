@@ -99,7 +99,10 @@ type ClientOption interface {
 
 type clientSyncOptions struct{ o SyncOptions }
 
-func (c clientSyncOptions) applyClient(cl *Client) { cl.opts = c.o }
+func (c clientSyncOptions) applyClient(cl *Client) {
+	//lint:ignore guardedby options are applied inside NewClient before the client is published, so no other goroutine can observe the write
+	cl.opts = c.o
+}
 
 // WithSyncOptions sets the IM-2 transform parameters (notably the local
 // drift bound Delta) applied to every measurement the client takes.

@@ -225,14 +225,17 @@ func (m *membership) tick() {
 	payload, sent := m.encodeDigest()
 	m.metrics.alive.Set(float64(m.roster.AliveCount()))
 	m.metrics.known.Set(float64(m.roster.Len()))
+	// The handles are resolved once at construction; copy them out so the
+	// sends below need no lock.
+	metrics := m.metrics
 	m.mu.Unlock()
 	if payload == nil {
 		return
 	}
 	for _, addr := range targets {
 		if m.send(addr, payload) {
-			m.metrics.msgs.Inc()
-			m.metrics.entries.Observe(float64(sent))
+			metrics.msgs.Inc()
+			metrics.entries.Observe(float64(sent))
 		}
 	}
 }
@@ -240,6 +243,7 @@ func (m *membership) tick() {
 // encodeDigest renders the roster digest as one advertise datagram.
 // Callers hold mu.
 func (m *membership) encodeDigest() (payload []byte, entries int) {
+	//lint:ignore guardedby the only caller, gossipOnce, holds m.mu across this call (documented above)
 	digest := m.roster.Digest(make([]member.Entry[string], 0, m.cfg.DigestMax), m.cfg.DigestMax)
 	out := make([]wire.MemberEntry, 0, len(digest))
 	for _, e := range digest {

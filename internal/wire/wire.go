@@ -105,6 +105,7 @@ type Response struct {
 	Unsynchronized bool
 }
 
+//lint:noalloc
 func putHeader(buf []byte, version, typ, flags uint8, reqID uint64) {
 	binary.BigEndian.PutUint32(buf[0:4], Magic)
 	buf[4] = version
@@ -118,6 +119,8 @@ func putHeader(buf []byte, version, typ, flags uint8, reqID uint64) {
 // property of the message type: requests and responses are version 1,
 // advertisements version 2 — so a v1-only implementation rejects
 // advertise datagrams with ErrBadVersion rather than misparsing them.
+//
+//lint:noalloc
 func parseHeader(buf []byte, wantType, wantVersion uint8) (flags uint8, reqID uint64, err error) {
 	if len(buf) < RequestSize {
 		return 0, 0, fmt.Errorf("%w: %d bytes", ErrShort, len(buf))
@@ -141,6 +144,8 @@ func parseHeader(buf []byte, wantType, wantVersion uint8) (flags uint8, reqID ui
 // plausible protocol header (length and magic check out), letting a
 // receiver dispatch before committing to a full parse. ok is false for
 // datagrams that are not protocol messages at all.
+//
+//lint:noalloc
 func PeekType(buf []byte) (typ uint8, ok bool) {
 	if len(buf) < RequestSize || binary.BigEndian.Uint32(buf[0:4]) != Magic {
 		return 0, false
@@ -150,6 +155,8 @@ func PeekType(buf []byte) (typ uint8, ok bool) {
 
 // AppendRequest appends the encoded request to dst and returns the
 // extended slice.
+//
+//lint:noalloc BenchmarkWireRoundTrip
 func AppendRequest(dst []byte, r Request) []byte {
 	var buf [RequestSize]byte
 	putHeader(buf[:], Version, TypeRequest, 0, r.ReqID)
@@ -157,6 +164,8 @@ func AppendRequest(dst []byte, r Request) []byte {
 }
 
 // ParseRequest decodes a request.
+//
+//lint:noalloc BenchmarkWireRoundTrip
 func ParseRequest(buf []byte) (Request, error) {
 	flags, reqID, err := parseHeader(buf, TypeRequest, Version)
 	if err != nil {
@@ -170,6 +179,8 @@ func ParseRequest(buf []byte) (Request, error) {
 
 // AppendResponse appends the encoded response to dst and returns the
 // extended slice. A negative MaxError is rejected.
+//
+//lint:noalloc BenchmarkWireRoundTrip
 func AppendResponse(dst []byte, r Response) ([]byte, error) {
 	if r.MaxError < 0 {
 		return nil, fmt.Errorf("%w: negative max error %v", ErrBadField, r.MaxError)
@@ -187,6 +198,8 @@ func AppendResponse(dst []byte, r Response) ([]byte, error) {
 }
 
 // ParseResponse decodes a response.
+//
+//lint:noalloc BenchmarkWireRoundTrip
 func ParseResponse(buf []byte) (Response, error) {
 	flags, reqID, err := parseHeader(buf, TypeResponse, Version)
 	if err != nil {
