@@ -24,7 +24,7 @@ COVER_FLOOR_PKGS = ./internal/core ./internal/interval ./internal/member \
                    ./internal/lint
 COVER_FLOOR     ?= 85
 
-.PHONY: all build vet lint noalloc-audit test check test-race cover cover-check chaos chaos-replay obs-smoke churn-smoke scale-smoke fuzz-smoke bench bench-scale experiments ablations examples clean
+.PHONY: all build vet lint noalloc-audit test check test-race cover cover-check chaos chaos-replay obs-smoke churn-smoke scale-smoke udp-smoke fuzz-smoke bench bench-scale bench-udp experiments ablations examples clean
 
 all: build vet lint test
 
@@ -63,7 +63,7 @@ test:
 # observability/membership determinism smokes, the committed chaos
 # corpus replays, and the sharded-kernel scale smoke travel together
 # (race rides inside `test` via RACE_PKGS).
-check: vet lint noalloc-audit test cover-check obs-smoke churn-smoke chaos-replay scale-smoke
+check: vet lint noalloc-audit test cover-check obs-smoke churn-smoke chaos-replay scale-smoke udp-smoke
 
 test-race:
 	$(GO) test -race $(RACE_PKGS)
@@ -104,6 +104,12 @@ chaos-replay:
 # full 10k/50k/100k sweep is `timesim -scale` / `make bench-scale`).
 scale-smoke:
 	$(GO) run ./cmd/timesim -experiment S1
+
+# UDP serving-path smoke: the closed-loop load generator against a live
+# batched sharded server on the loopback — zero load errors, JSON shape
+# pinned, histogram counts advancing (see cmd/timeload's TestUDPSmoke).
+udp-smoke:
+	$(GO) test ./cmd/timeload -run TestUDPSmoke
 
 # Observability smoke: the obs package under -race, then two seeded
 # `timesim -metrics -trace-out` runs diffed byte-for-byte — the
@@ -156,6 +162,18 @@ bench-scale:
 	$(GO) run ./cmd/benchjson < bench-scale.out > BENCH_SCALE.json
 	@rm -f bench-scale.out
 	@echo "wrote BENCH_SCALE.json"
+
+# The UDP serving-path benchmarks: the per-packet baseline (serial
+# Client.Query against the classic Server), the windowed legacy path,
+# and the batched sharded path, each pushing the same fixed request
+# quantum per iteration so the ns/op ratios are throughput ratios. The
+# batched path must land at no more than one fifth of the per-packet
+# baseline's ns/op (>= 5x throughput).
+bench-udp:
+	$(GO) test -run '^$$' -bench 'BenchmarkUDPServe' -benchmem -benchtime=$(BENCHTIME) . | tee bench-udp.out
+	$(GO) run ./cmd/benchjson < bench-udp.out > BENCH_UDP.json
+	@rm -f bench-udp.out
+	@echo "wrote BENCH_UDP.json"
 
 # Regenerate the EXPERIMENTS.md data.
 experiments:

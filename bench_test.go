@@ -22,6 +22,7 @@ import (
 	"disttime/internal/experiments"
 	"disttime/internal/sim"
 	"disttime/internal/sim/shard"
+	"disttime/internal/udptime"
 	"disttime/internal/wire"
 )
 
@@ -370,4 +371,25 @@ func BenchmarkAblationRateFilter(b *testing.B) { runExperiment(b, experiments.Ab
 // BenchmarkAblationAdaptiveDelta regenerates A9 (delta maintenance).
 func BenchmarkAblationAdaptiveDelta(b *testing.B) {
 	runExperiment(b, experiments.AblationAdaptiveDelta)
+}
+
+// BenchmarkServeBatch measures the batched serving transform — parse a
+// full batch of requests, read the per-tick cached clock, encode every
+// reply into retained buffers — with no sockets in the way. It must
+// report 0 allocs/op: the //lint:noalloc annotations on the batch
+// serving path (responder.respond, TickCache.Now, Server.respondOne)
+// are audited against this benchmark.
+func BenchmarkServeBatch(b *testing.B) {
+	const batch = 64
+	pump := udptime.NewServeBatchBench(batch)
+	if got := pump(); got != batch {
+		b.Fatalf("pump answered %d of %d requests", got, batch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pump() != batch {
+			b.Fatal("batch not fully answered")
+		}
+	}
 }

@@ -1,0 +1,113 @@
+package disttime_test
+
+// UDP serving-path benchmarks (the BENCH_UDP.json baseline, `make
+// bench-udp`). Each iteration pushes a fixed number of requests through
+// a live loopback server with the closed-loop load generator, so the
+// ns/op ratio between the legacy per-packet server and the batched
+// sharded server IS their throughput ratio — cmd/benchjson records only
+// ns/op, B/op, and allocs/op, and a fixed work quantum per op makes
+// ns/op directly comparable across serving paths.
+
+import (
+	"testing"
+	"time"
+
+	"disttime/internal/udptime"
+)
+
+// udpBenchRequests is the fixed work quantum per benchmark iteration.
+const udpBenchRequests = 50_000
+
+// benchmarkUDPServe drives udpBenchRequests through the server behind
+// addr once per iteration and fails on any error or visible loss.
+func benchmarkUDPServe(b *testing.B, addr string, window int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := udptime.RunLoad(udptime.LoadConfig{
+			Addr:        addr,
+			Conns:       2,
+			Window:      window,
+			Batch:       window,
+			MaxRequests: udpBenchRequests,
+			Timeout:     5 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errors > 0 {
+			b.Fatalf("%d load errors", res.Errors)
+		}
+		if res.Received < udpBenchRequests*95/100 {
+			b.Fatalf("lost too much: received %d of %d", res.Received, udpBenchRequests)
+		}
+	}
+}
+
+// BenchmarkUDPServePacket is the per-packet baseline: the classic
+// Server queried serially with Client.Query, one datagram per syscall
+// in each direction and one request in flight — exactly the seed's
+// query path. The >= 5x acceptance ratio for the batched path is
+// measured against this number.
+func BenchmarkUDPServePacket(b *testing.B) {
+	src, err := udptime.NewSystemClock(time.Millisecond, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := udptime.NewServer("127.0.0.1:0", 1, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+	cl := udptime.NewClient(time.Second, src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < udpBenchRequests; j++ {
+			if _, err := cl.Query(addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkUDPServeLegacy is the classic per-packet Server under the
+// windowed load generator: the server still pays one syscall per
+// datagram, but the client side pipelines, so this isolates the
+// server-path difference from the batched benchmark below. The window
+// stays small enough that the burst never overflows the server's
+// default receive buffer — losses would show up as retransmit stalls
+// and corrupt the measurement.
+func BenchmarkUDPServeLegacy(b *testing.B) {
+	src, err := udptime.NewSystemClock(time.Millisecond, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := udptime.NewServer("127.0.0.1:0", 1, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	benchmarkUDPServe(b, srv.Addr().String(), 64)
+}
+
+// BenchmarkUDPServeBatched is the batched sharded path: recvmmsg/
+// sendmmsg vectors with UDP_SEGMENT coalescing, SO_REUSEPORT shards,
+// per-tick cached reading. The acceptance bar is ns/op at most one
+// fifth of the per-packet baseline (>= 5x throughput), recorded side
+// by side in BENCH_UDP.json.
+func BenchmarkUDPServeBatched(b *testing.B) {
+	src, err := udptime.NewSystemClock(time.Millisecond, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := udptime.NewBatchServer("127.0.0.1:0", 1, src,
+		udptime.BatchConfig{Shards: 2, Batch: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	benchmarkUDPServe(b, srv.Addr().String(), 256)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"disttime/internal/udptime"
+)
+
+// TestUDPSmoke is the end-to-end loopback smoke the Makefile's
+// udp-smoke target runs: a live batched server, a short timeload run
+// against it, zero errors, and a -json summary whose shape is
+// deterministic (fixed key set, consistent counters).
+func TestUDPSmoke(t *testing.T) {
+	src, err := udptime.NewSystemClock(time.Millisecond, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := udptime.NewBatchServer("127.0.0.1:0", 11, src,
+		udptime.BatchConfig{Shards: 2, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out bytes.Buffer
+	args := []string{
+		"-addr", srv.Addr().String(),
+		"-conns", "2",
+		"-window", "16",
+		"-duration", "100ms",
+		"-json",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\noutput: %s", args, err, out.String())
+	}
+
+	var got map[string]any
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("summary is not JSON: %v\n%s", err, out.String())
+	}
+	want := []string{
+		"addr", "conns", "window", "sent", "received", "timeouts",
+		"strays", "errors", "elapsed_ns", "qps",
+		"p50_ns", "p90_ns", "p99_ns", "p999_ns",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("summary has %d keys, want %d: %v", len(got), len(want), got)
+	}
+	for _, k := range want {
+		if _, ok := got[k]; !ok {
+			t.Fatalf("summary missing key %q: %v", k, got)
+		}
+	}
+	if got["errors"].(float64) != 0 {
+		t.Fatalf("smoke run saw errors: %v", got)
+	}
+	if got["received"].(float64) == 0 {
+		t.Fatalf("smoke run received nothing: %v", got)
+	}
+	if got["received"].(float64) > got["sent"].(float64) {
+		t.Fatalf("received more than sent: %v", got)
+	}
+
+	// The text mode must mention throughput and all four percentiles.
+	out.Reset()
+	args = []string{"-addr", srv.Addr().String(), "-duration", "50ms"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("text run: %v\n%s", err, out.String())
+	}
+	for _, needle := range []string{"req/s", "p50", "p90", "p99", "p999"} {
+		if !strings.Contains(out.String(), needle) {
+			t.Fatalf("text summary missing %q:\n%s", needle, out.String())
+		}
+	}
+}
+
+// TestRunErrors covers the argument and no-server error paths.
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad flag", args: []string{"-bogus"}},
+		{name: "empty address", args: []string{"-addr", ""}},
+		{name: "unresolvable address", args: []string{"-addr", "not an address"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, &out); err == nil {
+				t.Errorf("run(%v) accepted", tt.args)
+			}
+		})
+	}
+}

@@ -39,6 +39,12 @@ func run(args []string) error {
 			"claimed drift bound of the local clock, parts per million")
 		health = fs.String("health", "",
 			"HTTP health listener address (e.g. 127.0.0.1:9123): /healthz, Prometheus /metrics, and pprof")
+		shards = fs.Int("shards", 0,
+			"batched serving shards (0 = classic per-packet server; >0 enables the batch path)")
+		batch = fs.Int("batch", 0,
+			"datagrams per recvmmsg/sendmmsg batch in shard mode (0 = default)")
+		tick = fs.Duration("tick", 0,
+			"cached-response refresh interval in shard mode (0 = default 1ms, negative = uncached)")
 		verbose = fs.Bool("v", false, "log malformed datagrams")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -48,6 +54,12 @@ func run(args []string) error {
 	src, err := udptime.NewSystemClock(*initialErr, *driftPPM)
 	if err != nil {
 		return err
+	}
+	if *shards > 0 {
+		return runBatch(*addr, *id, src, *shards, *batch, *tick, *health, *verbose)
+	}
+	if *batch != 0 || *tick != 0 {
+		return fmt.Errorf("-batch and -tick require -shards >= 1")
 	}
 	var opts []udptime.ServerOption
 	if *verbose {
@@ -65,6 +77,31 @@ func run(args []string) error {
 	if ha := srv.HealthAddr(); ha != nil {
 		log.Printf("health listener on http://%v (/healthz, /metrics, /debug/pprof/)", ha)
 	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down after %d requests (%d malformed datagrams)",
+		srv.Requests(), srv.MalformedDatagrams())
+	return srv.Close()
+}
+
+// runBatch serves with the batched sharded path. The health listener is
+// a feature of the classic server; shard mode rejects it rather than
+// silently ignoring the flag.
+func runBatch(addr string, id uint64, src udptime.ClockSource, shards, batch int, tick time.Duration, health string, verbose bool) error {
+	if health != "" {
+		return fmt.Errorf("-health is not supported with -shards; run the classic server or scrape the process externally")
+	}
+	cfg := udptime.BatchConfig{Shards: shards, Batch: batch, Tick: tick}
+	if verbose {
+		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags)
+	}
+	srv, err := udptime.NewBatchServer(addr, id, src, cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("timeserver %d listening on %v (%d shards, batched)", id, srv.Addr(), srv.Shards())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

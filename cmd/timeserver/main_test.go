@@ -14,6 +14,10 @@ func TestRunErrors(t *testing.T) {
 		{name: "bad address", args: []string{"-addr", "not an address"}},
 		{name: "negative initial error", args: []string{"-initial-error", "-1s"}},
 		{name: "negative drift", args: []string{"-drift-ppm", "-5"}},
+		{name: "batch without shards", args: []string{"-batch", "16"}},
+		{name: "tick without shards", args: []string{"-tick", "5ms"}},
+		{name: "health with shards", args: []string{"-shards", "2", "-health", "127.0.0.1:0"}},
+		{name: "bad address sharded", args: []string{"-shards", "2", "-addr", "not an address"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

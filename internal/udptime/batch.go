@@ -1,0 +1,97 @@
+package udptime
+
+import (
+	"net"
+	"time"
+)
+
+// maxDatagram is the largest datagram any path of the service handles;
+// requests and responses are tiny, advertise messages bounded, so 2 KiB
+// leaves generous headroom while keeping batch buffers cache-friendly.
+const maxDatagram = 2048
+
+// Batch I/O size limits. A batch is one recvmmsg/sendmmsg vector on the
+// Linux fast path; the portable fallback degrades to per-packet I/O but
+// keeps the same slot discipline so the serving code is identical.
+const (
+	defaultBatch = 32
+	maxBatch     = 512
+)
+
+// ioBatch is one reusable set of message slots shared between a batch
+// connection and its handler. After Recv fills recv[0:n], the handler
+// prepares send[i] for each slot it wants answered (len 0 = no reply)
+// and calls Send(n). All slices alias buffers retained by the
+// connection for its lifetime: the steady-state serving path allocates
+// nothing per batch.
+type ioBatch struct {
+	// recv[i] is the i-th received datagram, valid until the next Recv.
+	recv [][]byte
+	// send[i] is the i-th reply buffer: capacity maxDatagram, re-sliced
+	// by the handler. Empty means "no reply for this slot".
+	send [][]byte
+}
+
+// batchIO is the batched datagram transport behind the serving and load
+// paths. Implementations are single-goroutine on the Recv/Send side
+// (each shard owns its connection) but Close may race with both.
+//
+// Two modes exist: an unconnected (server) socket replies to the peer
+// each slot's datagram arrived from, and a connected (client) socket
+// sends to its dialed peer. On a connected socket Send may be called
+// without a prior Recv (the load generator's opening window); on an
+// unconnected socket every Send slot echoes the matching Recv slot's
+// source address.
+type batchIO interface {
+	// Batch returns the connection's reusable slot set.
+	Batch() *ioBatch
+	// Recv blocks until at least one datagram arrives and fills
+	// Batch().recv[0:n]. It honors SetReadDeadline.
+	Recv() (n int, err error)
+	// Send transmits Batch().send[i] for i < n, skipping empty slots.
+	Send(n int) error
+	LocalAddr() *net.UDPAddr
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
+// newIOBatch allocates the slot set: full-length receive backing arrays
+// and zero-length, full-capacity send buffers.
+func newIOBatch(size int) (bt ioBatch, rbufs [][]byte) {
+	rbufs = make([][]byte, size)
+	bt.recv = make([][]byte, size)
+	bt.send = make([][]byte, size)
+	for i := range rbufs {
+		rbufs[i] = make([]byte, maxDatagram)
+		bt.send[i] = make([]byte, maxDatagram)[:0]
+	}
+	return bt, rbufs
+}
+
+// clampBatch normalizes a configured batch size.
+func clampBatch(n int) int {
+	switch {
+	case n <= 0:
+		return defaultBatch
+	case n > maxBatch:
+		return maxBatch
+	default:
+		return n
+	}
+}
+
+// listenUDP binds a UDP listener on addr. With reuse set the socket is
+// opened with SO_REUSEPORT before bind so several shard listeners can
+// share one port, letting the kernel spread datagrams across them; on
+// platforms without SO_REUSEPORT that mode returns an error and the
+// caller must run a single shard.
+func listenUDP(addr string, reuse bool) (*net.UDPConn, error) {
+	if !reuse {
+		udpAddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return net.ListenUDP("udp", udpAddr)
+	}
+	return listenReusePort(addr)
+}

@@ -1,0 +1,82 @@
+//go:build !(linux && (amd64 || arm64))
+
+package udptime
+
+import (
+	"net"
+	"net/netip"
+	"time"
+)
+
+// The portable batch fallback: plain per-packet reads and writes behind
+// the same slot discipline as the Linux fast path, so the serving and
+// load-generation code is identical on every platform. Recv returns one
+// datagram per call (the stdlib offers no way to drain a socket without
+// extra syscalls); Send walks the prepared slots one write at a time.
+// netip.AddrPort keeps the per-packet path allocation-free — the value
+// type carries the peer address without the *net.UDPAddr heap churn of
+// ReadFromUDP.
+
+type packetBatchConn struct {
+	conn      *net.UDPConn
+	bt        ioBatch
+	rbufs     [][]byte
+	peers     []netip.AddrPort
+	connected bool
+}
+
+// newBatchConn wraps conn for slot-based I/O; the GSO segment hint is
+// meaningless without the Linux fast path and is ignored.
+func newBatchConn(conn *net.UDPConn, size int, connected bool, _ int) (batchIO, error) {
+	c := &packetBatchConn{conn: conn, connected: connected}
+	c.bt, c.rbufs = newIOBatch(size)
+	c.peers = make([]netip.AddrPort, size)
+	return c, nil
+}
+
+func (c *packetBatchConn) Batch() *ioBatch { return &c.bt }
+
+func (c *packetBatchConn) LocalAddr() *net.UDPAddr {
+	addr, _ := c.conn.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+func (c *packetBatchConn) Close() error { return c.conn.Close() }
+
+func (c *packetBatchConn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+func (c *packetBatchConn) Recv() (int, error) {
+	if c.connected {
+		n, err := c.conn.Read(c.rbufs[0])
+		if err != nil {
+			return 0, err
+		}
+		c.bt.recv[0] = c.rbufs[0][:n]
+		return 1, nil
+	}
+	n, peer, err := c.conn.ReadFromUDPAddrPort(c.rbufs[0])
+	if err != nil {
+		return 0, err
+	}
+	c.peers[0] = peer
+	c.bt.recv[0] = c.rbufs[0][:n]
+	return 1, nil
+}
+
+func (c *packetBatchConn) Send(n int) error {
+	for i := 0; i < n; i++ {
+		if len(c.bt.send[i]) == 0 {
+			continue
+		}
+		var err error
+		if c.connected {
+			_, err = c.conn.Write(c.bt.send[i])
+		} else {
+			_, err = c.conn.WriteToUDPAddrPort(c.bt.send[i], c.peers[i])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

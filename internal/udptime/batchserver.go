@@ -1,0 +1,234 @@
+package udptime
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"disttime/internal/obs"
+	"disttime/internal/wire"
+)
+
+// BatchConfig configures a BatchServer.
+type BatchConfig struct {
+	// Shards is the number of handler shards, each bound to its own
+	// SO_REUSEPORT listener on the serving port; the kernel hashes
+	// incoming datagrams across them. Zero means one shard. More than
+	// one shard requires SO_REUSEPORT support (Linux and the BSDs).
+	Shards int
+	// Batch is the number of datagrams moved per recvmmsg/sendmmsg
+	// vector on the Linux fast path (zero means 32, capped at 512). The
+	// portable fallback ignores it and runs per-packet.
+	Batch int
+	// Tick is the cached-response refresh interval (zero means one
+	// millisecond). A negative Tick disables the cache entirely: every
+	// reply reads the clock source directly, trading the lock-free
+	// reply path for exact parity with the per-packet server — the mode
+	// the differential serving tests pin the wire format with.
+	Tick time.Duration
+	// DriftPPM is the drift bound charged into the per-tick widening of
+	// the cached error. Zero defaults to the source's own bound when it
+	// exposes one (DisciplinedClock and SystemClock both do).
+	DriftPPM float64
+	// Logger receives malformed-datagram diagnostics (default silent).
+	Logger *log.Logger
+	// Registry resolves the server's metrics (nil leaves them inert).
+	Registry *obs.Registry
+}
+
+// driftReporter is implemented by clock sources that know their own
+// drift bound.
+type driftReporter interface {
+	DriftPPM() float64
+}
+
+// BatchServer is the batched, sharded UDP time server: N shards, each
+// bound to its own SO_REUSEPORT listener, each draining datagrams in
+// recvmmsg-sized batches and answering from a per-tick cached <C, E>
+// reading, so replies under load touch neither the clock lock nor a
+// per-packet syscall. It answers exactly the same wire protocol as the
+// per-packet Server — the differential serving tests assert the two
+// produce byte-identical responses.
+type BatchServer struct {
+	resp  *responder
+	cache *TickCache
+
+	conns []batchIO
+	dones []chan struct{}
+	addr  *net.UDPAddr
+
+	logger      *log.Logger
+	obsBatches  *obs.Counter
+	obsSendErrs *obs.Counter
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewBatchServer starts a batched sharded server on addr answering with
+// readings from src, identifying itself as id. The server runs until
+// Close. A bind failure on any shard (for example a busy port) tears
+// down the shards already bound and returns the listener's error.
+func NewBatchServer(addr string, id uint64, src ClockSource, cfg BatchConfig) (*BatchServer, error) {
+	if src == nil {
+		return nil, errors.New("udptime: nil clock source")
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	batch := clampBatch(cfg.Batch)
+	drift := cfg.DriftPPM
+	if drift <= 0 {
+		if dr, ok := src.(driftReporter); ok {
+			drift = dr.DriftPPM()
+		}
+	}
+
+	s := &BatchServer{logger: cfg.Logger}
+	serveSrc := src
+	if cfg.Tick >= 0 {
+		s.cache = NewTickCache(src, cfg.Tick, drift)
+		serveSrc = s.cache
+	}
+	s.resp = &responder{id: id, src: serveSrc}
+	if cfg.Registry != nil {
+		s.resp.obsRequests = cfg.Registry.Counter("udptime_server_requests_total")
+		s.resp.obsMalformed = cfg.Registry.Counter("udptime_server_malformed_total")
+		s.obsBatches = cfg.Registry.Counter("udptime_server_batches_total")
+		s.obsSendErrs = cfg.Registry.Counter("udptime_server_send_errors_total")
+		cfg.Registry.Gauge("udptime_server_shards").Set(float64(shards))
+	}
+
+	bindTo := addr
+	for i := 0; i < shards; i++ {
+		conn, err := listenUDP(bindTo, shards > 1)
+		if err != nil {
+			s.teardown()
+			return nil, fmt.Errorf("udptime: bind shard %d of %d on %q: %w", i, shards, bindTo, err)
+		}
+		_ = conn.SetReadBuffer(1 << 20)
+		_ = conn.SetWriteBuffer(1 << 20)
+		// Replies are always exactly ResponseSize, so same-peer runs can
+		// leave as GSO super-datagrams where the kernel supports it.
+		bc, err := newBatchConn(conn, batch, false, wire.ResponseSize)
+		if err != nil {
+			conn.Close()
+			s.teardown()
+			return nil, fmt.Errorf("udptime: shard %d raw conn: %w", i, err)
+		}
+		s.conns = append(s.conns, bc)
+		if i == 0 {
+			s.addr = bc.LocalAddr()
+			// Later shards must join the concrete port shard 0 got,
+			// even when addr asked for :0.
+			bindTo = s.addr.String()
+		}
+	}
+	s.dones = make([]chan struct{}, shards)
+	for i := range s.conns {
+		s.dones[i] = make(chan struct{})
+		go s.shardLoop(i)
+	}
+	return s, nil
+}
+
+// teardown releases partially constructed state (no shard loops yet).
+func (s *BatchServer) teardown() {
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+	if s.cache != nil {
+		s.cache.Stop()
+	}
+}
+
+// Addr returns the server's bound address.
+func (s *BatchServer) Addr() *net.UDPAddr { return s.addr }
+
+// Shards returns the number of handler shards.
+func (s *BatchServer) Shards() int { return len(s.conns) }
+
+// Requests returns how many well-formed requests the server has
+// answered across all shards.
+func (s *BatchServer) Requests() uint64 { return s.resp.served.Load() }
+
+// MalformedDatagrams returns how many datagrams failed to parse.
+func (s *BatchServer) MalformedDatagrams() uint64 { return s.resp.malformed.Load() }
+
+// Close stops every shard and the tick cache and waits for the shard
+// loops to drain, including batches in flight. It is idempotent and
+// safe to call from several goroutines at once; every call returns the
+// same result.
+func (s *BatchServer) Close() error {
+	s.closeOnce.Do(func() {
+		var first error
+		for _, c := range s.conns {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, d := range s.dones {
+			<-d
+		}
+		if s.cache != nil {
+			s.cache.Stop()
+		}
+		s.closeErr = first
+	})
+	return s.closeErr
+}
+
+// shardLoop drains one listener: receive a batch, answer every
+// well-formed request from the cached reading, send the replies.
+func (s *BatchServer) shardLoop(i int) {
+	defer close(s.dones[i])
+	bc := s.conns[i]
+	bt := bc.Batch()
+	for {
+		n, err := bc.Recv()
+		if err != nil {
+			if isClosedErr(err) {
+				return
+			}
+			// Transient receive failure (spurious ICMP, truncation):
+			// count it and keep serving.
+			s.resp.malformed.Add(1)
+			s.resp.obsMalformed.Inc()
+			continue
+		}
+		s.obsBatches.Inc()
+		if s.resp.respond(bt, n) == 0 {
+			s.logMalformed(bt, n)
+			continue
+		}
+		s.logMalformed(bt, n)
+		if err := bc.Send(n); err != nil {
+			if isClosedErr(err) {
+				return
+			}
+			s.obsSendErrs.Inc()
+		}
+	}
+}
+
+// logMalformed reports unanswered slots when a logger is configured;
+// kept off the annotated fast path because diagnostics may allocate.
+func (s *BatchServer) logMalformed(bt *ioBatch, n int) {
+	if s.logger == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if len(bt.send[i]) == 0 {
+			s.logger.Printf("udptime: batch shard dropped %d-byte malformed datagram", len(bt.recv[i]))
+		}
+	}
+}
+
+// isClosedErr reports whether err means the connection was shut down.
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,143 @@
+package udptime
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatchServerConcurrentClose hammers Close from many goroutines
+// while a load run still has batches in flight: every Close must return
+// the same result, the shard loops must drain, and nothing may hang or
+// race (this test is part of the -race pass over RACE_PKGS).
+func TestBatchServerConcurrentClose(t *testing.T) {
+	src, err := NewSystemClock(time.Millisecond, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewBatchServer("127.0.0.1:0", 3, src, BatchConfig{Shards: 4, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		// The run outlives the Close below, so the shards are torn down
+		// mid-traffic; the load side tolerates the resulting timeouts.
+		_, _ = RunLoad(LoadConfig{
+			Addr:     srv.Addr().String(),
+			Conns:    2,
+			Window:   32,
+			Duration: 300 * time.Millisecond,
+			Timeout:  100 * time.Millisecond,
+		})
+	}()
+	time.Sleep(50 * time.Millisecond) // let traffic build
+
+	const closers = 8
+	results := make([]error, closers)
+	var wg sync.WaitGroup
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = srv.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range results {
+		if !errors.Is(err, results[0]) {
+			t.Fatalf("closer %d returned %v, closer 0 returned %v", i, err, results[0])
+		}
+	}
+	<-loadDone
+}
+
+// TestBatchServerDoubleClose pins Close idempotence on an idle server.
+func TestBatchServerDoubleClose(t *testing.T) {
+	src, err := NewSystemClock(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewBatchServer("127.0.0.1:0", 1, src, BatchConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := srv.Close()
+	second := srv.Close()
+	if !errors.Is(second, first) {
+		t.Fatalf("second Close returned %v, first returned %v", second, first)
+	}
+}
+
+// TestBatchServerBindBusyPort proves a bind failure surfaces as a clean
+// constructor error — no hang, no leaked shard — both for a plain bind
+// and for the SO_REUSEPORT path against a socket that was bound without
+// the option.
+func TestBatchServerBindBusyPort(t *testing.T) {
+	squatter, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer squatter.Close()
+	addr := squatter.LocalAddr().String()
+	src, err := NewSystemClock(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 4} {
+		done := make(chan error, 1)
+		go func() {
+			srv, err := NewBatchServer(addr, 1, src, BatchConfig{Shards: shards})
+			if err == nil {
+				srv.Close()
+			}
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatalf("shards=%d: bind on busy %s succeeded, want error", shards, addr)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("shards=%d: NewBatchServer hung on busy port", shards)
+		}
+	}
+}
+
+// TestBatchServerServesAfterPartialTraffic is a plain end-to-end check
+// of the multi-shard path: requests answered, counters advancing, Close
+// after traffic clean.
+func TestBatchServerServes(t *testing.T) {
+	src, err := NewSystemClock(time.Millisecond, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewBatchServer("127.0.0.1:0", 9, src, BatchConfig{Shards: 2, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.Shards(); got != 2 {
+		t.Fatalf("Shards() = %d, want 2", got)
+	}
+	res, err := RunLoad(LoadConfig{
+		Addr:     srv.Addr().String(),
+		Conns:    1,
+		Window:   8,
+		Duration: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received == 0 {
+		t.Fatal("no replies received")
+	}
+	if srv.Requests() < res.Received {
+		t.Fatalf("server counted %d requests, client received %d", srv.Requests(), res.Received)
+	}
+}

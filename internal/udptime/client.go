@@ -285,7 +285,9 @@ func (c *Client) query(addr string, timeout time.Duration, local ClockSource, op
 		return Measurement{}, fmt.Errorf("udptime: send to %q: %w", addr, err)
 	}
 
-	buf := make([]byte, 512)
+	bufp := dgramPool.Get().(*[maxDatagram]byte)
+	buf := bufp[:]
+	defer dgramPool.Put(bufp)
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {

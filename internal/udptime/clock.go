@@ -56,6 +56,10 @@ func (c *SystemClock) Now() (time.Time, time.Duration, bool) {
 	return now, c.initialErr + deterioration, true
 }
 
+// DriftPPM returns the drift bound the OS clock is trusted to, in parts
+// per million.
+func (c *SystemClock) DriftPPM() float64 { return c.driftPPM }
+
 // DisciplinedClock is a settable software clock: a value anchored to the
 // process's monotonic clock, with rule MM-1 error bookkeeping (inherited
 // error plus DriftPPM deterioration since the last set). Until the first

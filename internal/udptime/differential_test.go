@@ -1,0 +1,305 @@
+package udptime
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand/v2"
+	"net"
+	"testing"
+	"time"
+
+	"disttime/internal/wire"
+)
+
+// fixedSource is a deterministic clock: every read returns the same
+// <C, E, synced> triple, which is what makes byte-identity across two
+// server implementations assertable at all.
+type fixedSource struct {
+	c      time.Time
+	e      time.Duration
+	synced bool
+}
+
+func (f fixedSource) Now() (time.Time, time.Duration, bool) { return f.c, f.e, f.synced }
+
+// diffDatagram is one corpus element: the raw bytes and, for well-formed
+// requests, the reqID a reply will echo.
+type diffDatagram struct {
+	raw   []byte
+	reqID uint64 // nonzero only for datagrams that must be answered
+}
+
+// diffCorpus builds a randomized datagram corpus cycling through ten
+// kinds: valid version-1 requests plus nine malformed or non-request
+// shapes (truncations, bad magic/version/type, nonzero reserved byte,
+// flagged requests, version-2 advertise both valid and truncated, stray
+// responses, and raw garbage). Only the valid requests may be answered.
+func diffCorpus(t *testing.T, rng *rand.Rand, n int) []diffDatagram {
+	t.Helper()
+	corpus := make([]diffDatagram, 0, n)
+	for i := 0; i < n; i++ {
+		// Request IDs stay clear of zero so reqID==0 can mean "no reply".
+		id := rng.Uint64() | 1
+		valid := wire.AppendRequest(nil, wire.Request{ReqID: id})
+		var d diffDatagram
+		switch i % 10 {
+		case 0: // well-formed request
+			d = diffDatagram{raw: valid, reqID: id}
+		case 1: // truncated request
+			d.raw = valid[:rng.IntN(wire.RequestSize)]
+		case 2: // bad magic
+			d.raw = bytes.Clone(valid)
+			d.raw[rng.IntN(4)] ^= 1 + byte(rng.IntN(255))
+		case 3: // bad version
+			d.raw = bytes.Clone(valid)
+			for d.raw[4] == wire.Version {
+				d.raw[4] = byte(rng.IntN(256))
+			}
+		case 4: // stray response sent as a query
+			resp, err := wire.AppendResponse(nil, wire.Response{
+				ReqID:    id,
+				ServerID: rng.Uint64(),
+				Clock:    time.Unix(0, int64(rng.Uint64N(1<<62))),
+				MaxError: time.Duration(rng.Uint64N(1 << 30)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.raw = resp
+		case 5: // nonzero reserved byte
+			d.raw = bytes.Clone(valid)
+			d.raw[7] = 1 + byte(rng.IntN(255))
+		case 6: // request with flags set
+			d.raw = bytes.Clone(valid)
+			d.raw[6] = 1 + byte(rng.IntN(255))
+		case 7: // valid version-2 advertise (both servers are pre-membership)
+			adv, err := wire.AppendAdvertise(nil, id, []wire.MemberEntry{{
+				Addr:   "10.0.0.1:3123",
+				Gen:    1,
+				Seq:    uint64(i),
+				Status: 1 + uint8(rng.IntN(4)),
+				C:      float64(rng.IntN(1 << 30)),
+				E:      rng.Float64(),
+				Delta:  rng.Float64() / 1e3,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.raw = adv
+		case 8: // truncated advertise
+			adv, err := wire.AppendAdvertise(nil, id, []wire.MemberEntry{{
+				Addr: "10.0.0.2:3123", Gen: 2, Seq: uint64(i), Status: 2,
+				C: 1e9, E: 0.25, Delta: 1e-4,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.raw = adv[:wire.RequestSize+1+rng.IntN(len(adv)-wire.RequestSize-1)]
+		case 9: // raw garbage
+			d.raw = make([]byte, 1+rng.IntN(64))
+			for j := range d.raw {
+				d.raw[j] = byte(rng.IntN(256))
+			}
+			if len(d.raw) >= 4 {
+				d.raw[0] = 0 // never a plausible magic
+			}
+		}
+		corpus = append(corpus, d)
+	}
+	return corpus
+}
+
+// sendCorpusCollect fires every corpus datagram at addr from one
+// connected socket and collects the replies until want distinct request
+// IDs have answered (or the deadline passes), returning raw reply bytes
+// keyed by echoed reqID.
+func sendCorpusCollect(t *testing.T, addr string, corpus []diffDatagram, want int) map[uint64][]byte {
+	t.Helper()
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i, d := range corpus {
+		if len(d.raw) == 0 {
+			continue // zero-length write is a no-op datagram; skip
+		}
+		if _, err := conn.Write(d.raw); err != nil {
+			t.Fatal(err)
+		}
+		// Pace the blast: the per-packet server drains one datagram per
+		// loop, and an unpaced 300-datagram burst overflows its default
+		// receive buffer (the kernel charges skb truesize, not payload).
+		if i%24 == 23 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	got := make(map[uint64][]byte, want)
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, maxDatagram)
+	for len(got) < want {
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatalf("after %d/%d replies: %v", len(got), want, err)
+		}
+		if n < wire.RequestSize {
+			t.Fatalf("short reply: %d bytes", n)
+		}
+		id := binary.BigEndian.Uint64(buf[8:16])
+		if prev, dup := got[id]; dup {
+			t.Fatalf("duplicate reply for reqID %d (prev %x)", id, prev)
+		}
+		got[id] = bytes.Clone(buf[:n])
+	}
+	return got
+}
+
+// waitCounter polls get until it returns want or the deadline passes.
+func waitCounter(t *testing.T, name string, get func() uint64, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got := get(); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: got %d, want %d", name, get(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDifferentialServing is the serving-path equivalence proof: the
+// legacy per-packet server and the batched sharded server, run over the
+// same deterministic clock, must answer an adversarial corpus with
+// byte-identical responses and identical served/malformed accounting.
+// The batched server runs with the tick cache disabled (negative Tick),
+// which is its exact-parity mode.
+func TestDifferentialServing(t *testing.T) {
+	src := fixedSource{
+		c:      time.Unix(0, 1_700_000_000_123_456_789),
+		e:      250 * time.Microsecond,
+		synced: true,
+	}
+	const serverID = 42
+
+	legacy, err := NewServer("127.0.0.1:0", serverID, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	batched, err := NewBatchServer("127.0.0.1:0", serverID, src,
+		BatchConfig{Shards: 2, Batch: 8, Tick: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+
+	rng := rand.New(rand.NewPCG(0xd1ff, 0x5e4e))
+	const n = 300
+	corpus := diffCorpus(t, rng, n)
+	var wantReplies, wantMalformed uint64
+	for _, d := range corpus {
+		if d.reqID != 0 {
+			wantReplies++
+		} else if len(d.raw) > 0 {
+			wantMalformed++
+		}
+	}
+
+	fromLegacy := sendCorpusCollect(t, legacy.Addr().String(), corpus, int(wantReplies))
+	fromBatched := sendCorpusCollect(t, batched.Addr().String(), corpus, int(wantReplies))
+
+	for _, d := range corpus {
+		if d.reqID == 0 {
+			if _, ok := fromLegacy[d.reqID]; ok {
+				t.Fatalf("legacy answered a malformed datagram")
+			}
+			continue
+		}
+		l, okL := fromLegacy[d.reqID]
+		b, okB := fromBatched[d.reqID]
+		if !okL || !okB {
+			t.Fatalf("reqID %d: legacy answered %v, batched answered %v", d.reqID, okL, okB)
+		}
+		if !bytes.Equal(l, b) {
+			t.Fatalf("reqID %d: responses differ\nlegacy:  %x\nbatched: %x", d.reqID, l, b)
+		}
+	}
+
+	waitCounter(t, "legacy requests", legacy.Requests, wantReplies)
+	waitCounter(t, "batched requests", batched.Requests, wantReplies)
+	waitCounter(t, "legacy malformed", legacy.MalformedDatagrams, wantMalformed)
+	waitCounter(t, "batched malformed", batched.MalformedDatagrams, wantMalformed)
+}
+
+// TestDifferentialTickWidening pins the cached mode's only permitted
+// divergence: with the tick cache on, the batched server's reply must
+// carry the legacy server's exact clock value and error plus exactly
+// one tick's widening — nothing else about the reply may change.
+func TestDifferentialTickWidening(t *testing.T) {
+	src := fixedSource{
+		c:      time.Unix(0, 1_700_000_000_987_654_321),
+		e:      300 * time.Microsecond,
+		synced: true,
+	}
+	const serverID, tick = 7, 50 * time.Millisecond
+
+	legacy, err := NewServer("127.0.0.1:0", serverID, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	batched, err := NewBatchServer("127.0.0.1:0", serverID, src,
+		BatchConfig{Shards: 1, Tick: tick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+
+	query := func(addr string, id uint64) wire.Response {
+		raddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.DialUDP("udp", nil, raddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(wire.AppendRequest(nil, wire.Request{ReqID: id})); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, maxDatagram)
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wire.ParseResponse(buf[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	l := query(legacy.Addr().String(), 11)
+	b := query(batched.Addr().String(), 11)
+	// fixedSource reports no drift bound, so the widening is exactly the
+	// tick itself.
+	widen := tickWiden(tick, 0)
+	if !b.Clock.Equal(l.Clock) {
+		t.Fatalf("cached clock %v differs from legacy %v", b.Clock, l.Clock)
+	}
+	if want := l.MaxError + widen; b.MaxError != want {
+		t.Fatalf("cached max error %v, want legacy %v + widen %v = %v",
+			b.MaxError, l.MaxError, widen, want)
+	}
+	if b.ServerID != l.ServerID || b.Unsynchronized != l.Unsynchronized {
+		t.Fatalf("identity fields diverged: %+v vs %+v", b, l)
+	}
+}

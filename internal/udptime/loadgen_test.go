@@ -1,0 +1,120 @@
+package udptime
+
+import (
+	"testing"
+	"time"
+
+	"disttime/internal/obs"
+)
+
+// TestRunLoadLoopback drives the load generator against a live batched
+// server on the loopback and checks the contract the udp-smoke target
+// relies on: zero errors, every reply accounted, and monotone
+// non-decreasing histogram/counter state across successive runs into
+// the same registry.
+func TestRunLoadLoopback(t *testing.T) {
+	src, err := NewSystemClock(time.Millisecond, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewBatchServer("127.0.0.1:0", 5, src, BatchConfig{Shards: 2, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	hist := reg.LogHistogram("timeload_latency_seconds")
+	replies := reg.Counter("timeload_replies_total")
+
+	var prevCount, prevReplies uint64
+	for round := 0; round < 3; round++ {
+		res, err := RunLoad(LoadConfig{
+			Addr:     srv.Addr().String(),
+			Conns:    2,
+			Window:   16,
+			Batch:    16,
+			Duration: 80 * time.Millisecond,
+			Registry: reg,
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("round %d: %d errors", round, res.Errors)
+		}
+		if res.Received == 0 {
+			t.Fatalf("round %d: no replies", round)
+		}
+		if res.Received > res.Sent {
+			t.Fatalf("round %d: received %d > sent %d", round, res.Received, res.Sent)
+		}
+		if res.QPS <= 0 {
+			t.Fatalf("round %d: non-positive QPS %v", round, res.QPS)
+		}
+		// Percentiles come from a histogram of nonnegative samples and
+		// must be ordered.
+		if res.P50 < 0 || res.P50 > res.P90 || res.P90 > res.P99 || res.P99 > res.P999 {
+			t.Fatalf("round %d: percentiles out of order: %v %v %v %v",
+				round, res.P50, res.P90, res.P99, res.P999)
+		}
+
+		// The registry accumulates across runs: counts never decrease and
+		// grow by exactly this run's replies.
+		count, total := hist.Count()+hist.ZeroCount(), replies.Value()
+		if count < prevCount || total < prevReplies {
+			t.Fatalf("round %d: histogram/counter went backwards: %d < %d or %d < %d",
+				round, count, prevCount, total, prevReplies)
+		}
+		if got := total - prevReplies; got != res.Received {
+			t.Fatalf("round %d: reply counter advanced %d, result says %d", round, got, res.Received)
+		}
+		if got := count - prevCount; got != res.Received {
+			t.Fatalf("round %d: histogram observed %d samples, result says %d replies", round, got, res.Received)
+		}
+		prevCount, prevReplies = count, total
+	}
+}
+
+// TestRunLoadFixedWork checks MaxRequests mode: the run issues exactly
+// the requested number (the benchmark mode's invariant) and completes
+// cleanly well before the safety duration.
+func TestRunLoadFixedWork(t *testing.T) {
+	src, err := NewSystemClock(time.Millisecond, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewBatchServer("127.0.0.1:0", 6, src, BatchConfig{Shards: 1, Batch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const want = 5000
+	res, err := RunLoad(LoadConfig{
+		Addr:        srv.Addr().String(),
+		Conns:       2,
+		Window:      32,
+		MaxRequests: want,
+		Timeout:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != want {
+		t.Fatalf("sent %d requests, want exactly %d", res.Sent, want)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.Received != want && res.Received+res.Timeouts < want {
+		t.Fatalf("received %d + timeouts %d < sent %d", res.Received, res.Timeouts, want)
+	}
+}
+
+// TestRunLoadRejectsEmptyAddr pins the config validation path.
+func TestRunLoadRejectsEmptyAddr(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{}); err == nil {
+		t.Fatal("empty address must be rejected")
+	}
+}

@@ -1,0 +1,12 @@
+//go:build linux && amd64
+
+package udptime
+
+import "syscall"
+
+// The stdlib syscall table on linux/amd64 predates sendmmsg, so its
+// number is defined locally; Linux syscall numbers are ABI-frozen.
+const (
+	sysRecvmmsg = syscall.SYS_RECVMMSG
+	sysSendmmsg = 307
+)

@@ -1,0 +1,6 @@
+//go:build darwin || freebsd || netbsd || openbsd || dragonfly
+
+package udptime
+
+// soReusePort is SO_REUSEPORT on the BSD-derived platforms.
+const soReusePort = 0x200

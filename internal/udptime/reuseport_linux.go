@@ -1,0 +1,7 @@
+//go:build linux
+
+package udptime
+
+// soReusePort is SO_REUSEPORT, which the syscall package predates on
+// Linux (the option arrived in 3.9, after the package's API freeze).
+const soReusePort = 0xf

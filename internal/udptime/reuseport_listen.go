@@ -1,0 +1,39 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package udptime
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// listenReusePort binds a UDP listener with SO_REUSEPORT set before
+// bind, so N shard listeners can share one port and the kernel hashes
+// incoming datagrams across them (the standard fan-in idiom for
+// multi-queue UDP serving).
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var optErr error
+			err := c.Control(func(fd uintptr) {
+				optErr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return optErr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("udptime: reuseport listener is %T, not *net.UDPConn", pc)
+	}
+	return conn, nil
+}

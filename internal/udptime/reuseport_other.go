@@ -1,0 +1,16 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd && !dragonfly
+
+package udptime
+
+import (
+	"errors"
+	"net"
+)
+
+// errNoReusePort reports that this platform cannot share one UDP port
+// across shard listeners; callers must fall back to a single shard.
+var errNoReusePort = errors.New("udptime: SO_REUSEPORT not supported on this platform")
+
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	return nil, errNoReusePort
+}

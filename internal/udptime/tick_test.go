@@ -1,0 +1,124 @@
+package udptime
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+// steppedSource is a hand-driven clock for deterministic cache tests:
+// each call to set publishes a new reading.
+type steppedSource struct {
+	mu     sync.Mutex
+	c      time.Time
+	e      time.Duration
+	synced bool
+}
+
+func (s *steppedSource) set(c time.Time, e time.Duration, synced bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c, s.e, s.synced = c, e, synced
+}
+
+func (s *steppedSource) Now() (time.Time, time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c, s.e, s.synced
+}
+
+// TestTickCacheProperty drives a stopped cache through randomized
+// refresh rounds and checks the two properties DESIGN.md §16 claims:
+//
+//  1. at each tick boundary the cached reading equals a fresh read of
+//     the source plus exactly one tick's widening, and
+//  2. within a tick the reading is frozen — E never decreases (or
+//     changes at all) between refreshes.
+func TestTickCacheProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x71c4, 0xcafe))
+	const tick = 10 * time.Millisecond
+	const driftPPM = 100.0
+	widen := tickWiden(tick, driftPPM)
+	if widen <= tick {
+		t.Fatalf("widening %v must exceed the tick %v for a positive drift bound", widen, tick)
+	}
+
+	src := &steppedSource{}
+	base := time.Unix(0, 1_700_000_000_000_000_000)
+	src.set(base, time.Millisecond, true)
+	tc := newTickCacheStopped(src, tick, driftPPM)
+	defer tc.Stop()
+	if got := tc.Widen(); got != widen {
+		t.Fatalf("Widen() = %v, want %v", got, widen)
+	}
+
+	for round := 0; round < 200; round++ {
+		// A random fresh reading, sometimes unsynchronized, sometimes
+		// with a negative error (a broken source the cache must clamp).
+		c := base.Add(time.Duration(rng.Int64N(int64(time.Hour))))
+		e := time.Duration(rng.Int64N(int64(time.Second)))
+		if rng.IntN(20) == 0 {
+			e = -e
+		}
+		synced := rng.IntN(10) != 0
+		src.set(c, e, synced)
+		tc.refresh()
+
+		wantE := e
+		if wantE < 0 {
+			wantE = 0
+		}
+		wantE += widen
+
+		// Property 1: boundary reading = fresh read + exactly one widening.
+		gotC, gotE, gotSynced := tc.Now()
+		if !gotC.Equal(c) || gotE != wantE || gotSynced != synced {
+			t.Fatalf("round %d: cached <%v, %v, %v>, want <%v, %v, %v>",
+				round, gotC, gotE, gotSynced, c, wantE, synced)
+		}
+
+		// Property 2: the reading is frozen between refreshes — repeated
+		// reads are identical, so E cannot decrease within a tick even as
+		// the source moves underneath.
+		src.set(c.Add(time.Minute), e/2+time.Millisecond, !synced)
+		for i := 0; i < 5; i++ {
+			c2, e2, s2 := tc.Now()
+			if !c2.Equal(gotC) || e2 != gotE || s2 != gotSynced {
+				t.Fatalf("round %d read %d: reading moved within a tick: <%v, %v, %v> -> <%v, %v, %v>",
+					round, i, gotC, gotE, gotSynced, c2, e2, s2)
+			}
+		}
+	}
+}
+
+// TestTickCacheLive sanity-checks the running refresher: the cached
+// reading tracks a live SystemClock (staying within a generous staleness
+// bound), and Stop is idempotent and leaves the last reading readable.
+func TestTickCacheLive(t *testing.T) {
+	src, err := NewSystemClock(time.Millisecond, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTickCache(src, time.Millisecond, 50)
+	time.Sleep(20 * time.Millisecond)
+	c, e, synced := tc.Now()
+	fresh, freshE, _ := src.Now()
+	if age := fresh.Sub(c); age < 0 || age > 250*time.Millisecond {
+		t.Fatalf("cached clock is %v old, want within (0, 250ms]", age)
+	}
+	if e < freshE {
+		// The widened cached error can only exceed a fresh error taken
+		// later within the same tick by construction; a smaller value
+		// means the widening went missing.
+		t.Fatalf("cached error %v below fresh error %v", e, freshE)
+	}
+	if !synced {
+		t.Fatal("system clock source must report synchronized")
+	}
+	tc.Stop()
+	tc.Stop() // idempotent
+	if c2, _, _ := tc.Now(); c2.IsZero() {
+		t.Fatal("last reading must remain readable after Stop")
+	}
+}
