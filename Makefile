@@ -24,7 +24,7 @@ COVER_FLOOR_PKGS = ./internal/core ./internal/interval ./internal/member \
                    ./internal/lint
 COVER_FLOOR     ?= 85
 
-.PHONY: all build vet lint noalloc-audit test check test-race cover cover-check chaos chaos-replay obs-smoke churn-smoke scale-smoke udp-smoke fuzz-smoke bench bench-scale bench-udp experiments ablations examples clean
+.PHONY: all build vet lint noalloc-audit test check test-race cover cover-check chaos chaos-replay byz-smoke obs-smoke churn-smoke scale-smoke udp-smoke fuzz-smoke bench bench-scale bench-udp experiments ablations examples clean
 
 all: build vet lint test
 
@@ -63,7 +63,7 @@ test:
 # observability/membership determinism smokes, the committed chaos
 # corpus replays, and the sharded-kernel scale smoke travel together
 # (race rides inside `test` via RACE_PKGS).
-check: vet lint noalloc-audit test cover-check obs-smoke churn-smoke chaos-replay scale-smoke udp-smoke
+check: vet lint noalloc-audit test cover-check obs-smoke churn-smoke chaos-replay byz-smoke scale-smoke udp-smoke
 
 test-race:
 	$(GO) test -race $(RACE_PKGS)
@@ -99,6 +99,19 @@ chaos-replay:
 		echo "chaos-replay: $$repro"; \
 		$(GO) run ./cmd/timesim -chaos -replay $$repro || exit 1; \
 	done
+
+# Byzantine-tier smoke: a seeded batch of adversarial hill-climb
+# searches (DESIGN.md §17) run twice and diffed byte-for-byte — the
+# search, like every chaos mode, is a pure function of its seeds — then
+# a replay of the committed two-faced reproducer, which must pass under
+# the real byzIM rules (it fails only under the planted BuggyIM).
+byz-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/timesim -chaos -adversarial -campaigns 10 -adv-steps 15 -chaos-seed 1 > $$tmp/b1.txt && \
+	$(GO) run ./cmd/timesim -chaos -adversarial -campaigns 10 -adv-steps 15 -chaos-seed 1 > $$tmp/b2.txt && \
+	cmp $$tmp/b1.txt $$tmp/b2.txt && \
+	$(GO) run ./cmd/timesim -chaos -replay internal/chaos/corpus/buggy-byz-twoface.repro && \
+	rm -rf $$tmp && echo "byz-smoke: adversarial searches byte-identical, two-faced reproducer ok"
 
 # Sharded-kernel scale smoke: the S1 sweep at its CI-sized topology (the
 # full 10k/50k/100k sweep is `timesim -scale` / `make bench-scale`).

@@ -56,7 +56,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		addr     = fs.String("addr", "127.0.0.1:3123", "server UDP address")
 		conns    = fs.Int("conns", 1, "concurrent client connections")
-		window   = fs.Int("window", 32, "in-flight requests per connection")
+		window   = fs.Int("window", 32, "in-flight requests per connection (max 1024)")
 		batch    = fs.Int("batch", 32, "datagrams per I/O batch")
 		rate     = fs.Float64("rate", 0, "total request rate cap, req/s (0 = unlimited)")
 		duration = fs.Duration("duration", time.Second, "run duration")

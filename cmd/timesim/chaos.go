@@ -12,11 +12,13 @@ import (
 
 // chaosOpts carries the chaos-mode flags.
 type chaosOpts struct {
-	campaigns int
-	seed      uint64
-	replay    string
-	shrink    bool
-	metrics   string // when set, campaigns run observed and a snapshot is written here
+	campaigns   int
+	seed        uint64
+	replay      string
+	shrink      bool
+	metrics     string // when set, campaigns run observed and a snapshot is written here
+	adversarial bool   // hill-climb fault schedules toward a violation instead of sampling
+	advSteps    int    // mutation steps per adversarial search
 }
 
 // runChaos executes a batch of generated campaigns (or replays one
@@ -43,6 +45,9 @@ func runChaos(opts chaosOpts, out io.Writer) error {
 			return chaos.RunObserved(c, reg)
 		}
 		return chaos.Run(c)
+	}
+	if opts.adversarial {
+		return runAdversarial(opts, runOne, reg, out)
 	}
 	failed := 0
 	for i := 0; i < opts.campaigns; i++ {
@@ -80,6 +85,50 @@ func runChaos(opts chaosOpts, out io.Writer) error {
 		return fmt.Errorf("chaos: %d of %d campaigns violated an invariant", failed, opts.campaigns)
 	}
 	fmt.Fprintf(out, "chaos: %d campaigns ok\n", opts.campaigns)
+	return nil
+}
+
+// runAdversarial runs a batch of seeded hill-climbing searches (see
+// chaos.Adversarial): each starts from a within-budget Byzantine
+// campaign and mutates the schedule toward the monitor's tightest
+// containment margin. Output is one line per search plus the minimized
+// reproducer on failure, and is byte-identical across invocations with
+// equal flags.
+func runAdversarial(opts chaosOpts, runOne chaos.Runner, reg *obs.Registry, out io.Writer) error {
+	failed := 0
+	for i := 0; i < opts.campaigns; i++ {
+		seed := opts.seed + uint64(i)
+		res, err := chaos.Adversarial(chaos.AdversarialConfig{
+			Seed:  seed,
+			Steps: opts.advSteps,
+			Run:   runOne,
+		})
+		if err != nil {
+			return fmt.Errorf("chaos: adversarial seed %d: %w", seed, err)
+		}
+		if !res.Found {
+			fmt.Fprintf(out, "adversarial seed=%d n=%d evals=%d verdict=ok minslack=%.6g\n",
+				seed, res.Best.N, res.Evals, res.Verdict.MinSlack)
+			continue
+		}
+		failed++
+		first, _ := res.Verdict.First()
+		fmt.Fprintf(out, "adversarial seed=%d n=%d evals=%d verdict=FAIL\n", seed, res.Best.N, res.Evals)
+		fmt.Fprintf(out, "  violation: %v\n", first)
+		if res.Shrunk != nil {
+			fmt.Fprintf(out, "  reproducer (%d faults, %d shrink runs): %s\n",
+				len(res.Shrunk.Campaign.Faults), res.Shrunk.Runs, res.Shrunk.Campaign)
+		} else {
+			fmt.Fprintf(out, "  reproducer: %s\n", res.Best)
+		}
+	}
+	if err := writeMetrics(opts.metrics, reg); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("chaos: %d of %d adversarial searches found a violation", failed, opts.campaigns)
+	}
+	fmt.Fprintf(out, "chaos: %d adversarial searches ok\n", opts.campaigns)
 	return nil
 }
 

@@ -11,6 +11,7 @@
 //	timesim -all -parallel 0        # fan out over GOMAXPROCS workers
 //	timesim -ablations -parallel 4  # identical output, 4 workers
 //	timesim -chaos -campaigns 60 -chaos-seed 1
+//	timesim -chaos -adversarial -campaigns 50   # hill-climb Byzantine schedules
 //	timesim -chaos -replay internal/chaos/corpus/buggy-mm-churn.repro
 //	timesim -churn 2 -churn-seed 7     # dynamic-membership timeline demo
 //	timesim -metrics out.json -trace-out spans.jsonl   # instrumented demo run
@@ -57,6 +58,8 @@ func run(args []string, out io.Writer) error {
 		chaosSeed = fs.Uint64("chaos-seed", 1, "first campaign seed (with -chaos; campaigns use consecutive seeds)")
 		replay    = fs.String("replay", "", "replay a chaos reproducer: a literal line or a corpus file path (with -chaos)")
 		noShrink  = fs.Bool("no-shrink", false, "report failing chaos campaigns without minimizing them")
+		advSearch = fs.Bool("adversarial", false, "hill-climb Byzantine fault schedules toward an invariant violation instead of sampling (with -chaos)")
+		advSteps  = fs.Int("adv-steps", 20, "mutation steps per adversarial search (with -chaos -adversarial)")
 		churnRate = fs.Float64("churn", 0, "run the dynamic-membership demo: voluntary leave/rejoin cycles per 100 simulated seconds; prints the deterministic membership timeline")
 		churnSeed = fs.Uint64("churn-seed", 1, "seed of the churn demo (with -churn); equal seeds give byte-identical timelines")
 		churnN    = fs.Int("churn-n", 5, "cluster size of the churn demo (with -churn)")
@@ -91,11 +94,13 @@ func run(args []string, out io.Writer) error {
 	switch {
 	case *doChaos:
 		return runChaos(chaosOpts{
-			campaigns: *campaigns,
-			seed:      *chaosSeed,
-			replay:    *replay,
-			shrink:    !*noShrink,
-			metrics:   *metrics,
+			campaigns:   *campaigns,
+			seed:        *chaosSeed,
+			replay:      *replay,
+			shrink:      !*noShrink,
+			metrics:     *metrics,
+			adversarial: *advSearch,
+			advSteps:    *advSteps,
 		}, out)
 	case *churnRate > 0:
 		return runChurn(churnOpts{

@@ -52,6 +52,8 @@ const (
 	Partition                        // network splits into Groups in [At, At+Dur)
 	Crash                            // server Target is down in [At, At+Dur)
 	Churn                            // server Target leaves voluntarily at At and rejoins at At+Dur
+	TwoFaced                         // server Target answers each peer from a per-peer skewed register in [At, At+Dur)
+	Equivocate                       // server Target gossips conflicting <C,E> pairs per peer in [At, At+Dur)
 )
 
 // kindNames maps kinds to their reproducer-line tokens.
@@ -65,6 +67,8 @@ var kindNames = map[FaultKind]string{
 	Partition:   "part",
 	Crash:       "crash",
 	Churn:       "churn",
+	TwoFaced:    "twoface",
+	Equivocate:  "equiv",
 }
 
 // String returns the kind's reproducer-line token.
@@ -85,10 +89,17 @@ func (k FaultKind) isClockFault() bool {
 	return false
 }
 
+// isLyingFault reports whether the kind makes a server lie to its peers
+// while its own bookkeeping stays honest — the Byzantine faults the
+// f < n/3 containment argument budgets for.
+func (k FaultKind) isLyingFault() bool {
+	return k == TwoFaced || k == Equivocate
+}
+
 // targeted reports whether the kind applies to a single server.
 func (k FaultKind) targeted() bool {
 	switch k {
-	case StopClock, RaceClock, StickClock, Falseticker, Crash, Churn:
+	case StopClock, RaceClock, StickClock, Falseticker, Crash, Churn, TwoFaced, Equivocate:
 		return true
 	}
 	return false
@@ -97,7 +108,7 @@ func (k FaultKind) targeted() bool {
 // windowed reports whether the kind has a duration (an end event).
 func (k FaultKind) windowed() bool {
 	switch k {
-	case LossBurst, DelaySpike, Partition, Crash, Churn:
+	case LossBurst, DelaySpike, Partition, Crash, Churn, TwoFaced, Equivocate:
 		return true
 	}
 	return false
@@ -119,6 +130,11 @@ type Fault struct {
 	Param float64
 	// Groups is the partition layout (server indices) for Partition.
 	Groups [][]int
+	// Peers is the per-destination skew vector for TwoFaced and
+	// Equivocate: the lie told to server j is offset Peers[j]. It must
+	// have exactly N entries; Peers[Target] is conventionally zero (a
+	// server does not lie to itself).
+	Peers []float64
 }
 
 // Campaign is one self-contained chaos run: everything the run depends on
@@ -132,7 +148,8 @@ type Campaign struct {
 	N int
 	// Topo is the topology name: mesh, ring, line, or star.
 	Topo string
-	// FnName is the synchronization function: MM, IM, IMdrop, or selectIM.
+	// FnName is the synchronization function: MM, IM, IMdrop, selectIM,
+	// or byzIM (the Byzantine-tolerant envelope variant).
 	FnName string
 	// Recovery enables the Section 3 recovery heuristic on every server.
 	Recovery bool
@@ -146,6 +163,9 @@ type Campaign struct {
 	// set; without it they degrade to crash/restart (the only departure
 	// a static topology can express).
 	Mem bool
+	// Phi selects the phi-accrual failure detector instead of the
+	// drift-widened deadline detector for membership (requires Mem).
+	Phi bool
 	// Faults is the schedule, ordered by At.
 	Faults []Fault
 }
@@ -196,10 +216,11 @@ func Generate(seed uint64) Campaign {
 	}
 	topos := []string{"mesh", "mesh", "mesh", "ring", "star"}
 	c.Topo = topos[rng.IntN(len(topos))]
-	fns := []string{"MM", "IM", "IMdrop", "selectIM"}
+	fns := []string{"MM", "IM", "IMdrop", "selectIM", "byzIM"}
 	c.FnName = fns[rng.IntN(len(fns))]
 	c.Recovery = rng.IntN(2) == 0
 	c.Mem = rng.IntN(2) == 0
+	c.Phi = c.Mem && rng.IntN(3) == 0
 	for nf := rng.IntN(6); nf > 0; nf-- {
 		c.Faults = append(c.Faults, randomFault(rng, c.N, c.Dur, c.Mem))
 	}
@@ -207,9 +228,27 @@ func Generate(seed uint64) Campaign {
 	return c
 }
 
+// randomPeers draws a per-destination skew vector: every peer except the
+// liar itself gets an independent signed offset of magnitude lo..hi,
+// rounded so the vector round-trips through the reproducer codec.
+func randomPeers(rng *rand.Rand, n, target int, lo, hi float64) []float64 {
+	peers := make([]float64, n)
+	for j := range peers {
+		if j == target {
+			continue
+		}
+		sign := 1.0
+		if rng.IntN(2) == 0 {
+			sign = -1
+		}
+		peers[j] = sign * roundParam(lo+rng.Float64()*(hi-lo))
+	}
+	return peers
+}
+
 // randomFault draws one fault with on-grid times inside (0, dur). Churn
-// faults are drawn only for membership-enabled campaigns, where they
-// exercise the full leave/rejoin protocol.
+// and Equivocate faults are drawn only for membership-enabled campaigns,
+// where they exercise the leave/rejoin protocol and the gossip path.
 func randomFault(rng *rand.Rand, n int, dur float64, mem bool) Fault {
 	at := 5 * float64(1+rng.IntN(int(dur/5)-2))
 	win := 5 * float64(2+rng.IntN(19)) // 10..100 s
@@ -220,11 +259,12 @@ func randomFault(rng *rand.Rand, n int, dur float64, mem bool) Fault {
 	if rng.IntN(2) == 0 {
 		sign = -1
 	}
-	kinds := 8
+	eligible := []FaultKind{StopClock, RaceClock, StickClock, Falseticker,
+		LossBurst, DelaySpike, Partition, Crash, TwoFaced}
 	if mem {
-		kinds = 9
+		eligible = append(eligible, Churn, Equivocate)
 	}
-	switch FaultKind(1 + rng.IntN(kinds)) {
+	switch eligible[rng.IntN(len(eligible))] {
 	case StopClock:
 		return Fault{Kind: StopClock, Target: rng.IntN(n), At: at}
 	case RaceClock:
@@ -257,6 +297,14 @@ func randomFault(rng *rand.Rand, n int, dur float64, mem bool) Fault {
 		return Fault{Kind: Partition, At: at, Dur: win, Groups: groups}
 	case Churn:
 		return Fault{Kind: Churn, Target: rng.IntN(n), At: at, Dur: win}
+	case TwoFaced:
+		t := rng.IntN(n)
+		return Fault{Kind: TwoFaced, Target: t, At: at, Dur: win,
+			Peers: randomPeers(rng, n, t, 0.02, 0.12)}
+	case Equivocate:
+		t := rng.IntN(n)
+		return Fault{Kind: Equivocate, Target: t, At: at, Dur: win,
+			Peers: randomPeers(rng, n, t, 0.02, 0.12)}
 	default:
 		return Fault{Kind: Crash, Target: rng.IntN(n), At: at, Dur: win}
 	}
@@ -291,8 +339,11 @@ func (c Campaign) Validate() error {
 	if _, err := topologyFor(c.Topo); err != nil {
 		return err
 	}
-	if _, err := fnFor(c.FnName); err != nil {
+	if _, err := fnFor(c.FnName, c.N); err != nil {
 		return err
+	}
+	if c.Phi && !c.Mem {
+		return fmt.Errorf("chaos: phi detector requires membership (phi=1 without mem=1)")
 	}
 	for i, f := range c.Faults {
 		if kindNames[f.Kind] == "" {
@@ -335,6 +386,19 @@ func (c Campaign) Validate() error {
 					}
 				}
 			}
+		case TwoFaced, Equivocate:
+			if len(f.Peers) != c.N {
+				return fmt.Errorf("chaos: fault %d: %v wants %d per-peer offsets, got %d",
+					i, f.Kind, c.N, len(f.Peers))
+			}
+			for j, off := range f.Peers {
+				if math.IsNaN(off) || math.IsInf(off, 0) {
+					return fmt.Errorf("chaos: fault %d: non-finite peer offset %v for peer %d", i, off, j)
+				}
+			}
+			if f.Kind == Equivocate && !c.Mem {
+				return fmt.Errorf("chaos: fault %d: equivocation needs membership gossip (mem=1)", i)
+			}
 		}
 	}
 	return nil
@@ -355,8 +419,11 @@ func topologyFor(name string) (service.Topology, error) {
 	return 0, fmt.Errorf("chaos: unknown topology %q", name)
 }
 
-// fnFor maps a synchronization-function name to its implementation.
-func fnFor(name string) (core.SyncFunc, error) {
+// fnFor maps a synchronization-function name to its implementation. The
+// server count sizes byzIM's lie budget: F = floor((n-1)/3) is fixed at
+// build so the coverage floor is per-campaign, not per-round (a per-round
+// budget is unsound under message loss — see core.ByzIM).
+func fnFor(name string, n int) (core.SyncFunc, error) {
 	switch name {
 	case "MM":
 		return core.MM{}, nil
@@ -366,6 +433,8 @@ func fnFor(name string) (core.SyncFunc, error) {
 		return core.IM{DropInconsistent: true}, nil
 	case "selectIM":
 		return core.SelectIM{}, nil
+	case "byzIM":
+		return core.ByzIM{F: (n - 1) / 3}, nil
 	}
 	return nil, fmt.Errorf("chaos: unknown sync function %q", name)
 }
@@ -396,7 +465,7 @@ func (c Campaign) build(override core.SyncFunc) (*service.Service, error) {
 	}
 	fn := override
 	if fn == nil {
-		if fn, err = fnFor(c.FnName); err != nil {
+		if fn, err = fnFor(c.FnName, c.N); err != nil {
 			return nil, err
 		}
 	}
@@ -441,6 +510,9 @@ func (c Campaign) build(override core.SyncFunc) (*service.Service, error) {
 		// period via member.DetectorConfig, so eviction windows stay
 		// small relative to Dur.
 		cfg.Members = &service.MemberConfig{GossipEvery: math.Max(2, c.Sync/5)}
+		if c.Phi {
+			cfg.Members.Detector = "phi"
+		}
 	}
 	return service.New(cfg)
 }

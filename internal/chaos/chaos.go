@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"disttime/internal/core"
+	"disttime/internal/interval"
 	"disttime/internal/obs"
 )
 
@@ -18,6 +19,13 @@ type Verdict struct {
 	// determinism fingerprint: identical campaigns must report identical
 	// step counts.
 	Steps uint64
+	// MinSlack is the tightest containment margin the monitor asserted:
+	// the minimum over all containment checks of how deep true time sat
+	// inside the checked interval (+Inf when nothing was asserted,
+	// negative when containment was violated). The adversarial search
+	// hill-climbs on this margin: a schedule that shrinks it is closer to
+	// a violation even while every check still passes.
+	MinSlack float64
 }
 
 // First returns the earliest violation, if any.
@@ -69,6 +77,7 @@ func run(c Campaign, override core.SyncFunc, reg *obs.Registry) (Verdict, error)
 		OK:         len(m.violations) == 0,
 		Violations: m.violations,
 		Steps:      svc.Sim.Steps(),
+		MinSlack:   m.MinSlack(),
 	}
 	if !v.OK {
 		sink.failed.Inc()
@@ -105,5 +114,58 @@ func (BuggyMM) Sync(s *core.Server, t float64, replies []core.Reply) core.Result
 			res.Accepted++
 		}
 	}
+	return res
+}
+
+// BuggyIM is a Byzantine-tolerant intersection function done wrong: it
+// adopts Marzullo's maximum-overlap window, tightened to the full
+// intersection of its member intervals, with NO coverage floor — the
+// seductive "just take the best agreement" reading of [Marzullo 83] that
+// accepts an agreement of f >= n/3 lying replies. Against honest peers it
+// behaves like selectIM and passes every invariant. Against a single
+// two-faced liar whose per-peer offset overlaps one flank of the honest
+// cluster, the refined window hangs off the honest side: the tightened
+// intersection excludes real time and the very next containment check
+// fires. It is the planted bug proving the byz-containment invariant is
+// awake, and the negative image of core.ByzIM's envelope argument.
+type BuggyIM struct{}
+
+// Name reports "byz-IM" so the run is observed like the real thing; the
+// monitor's regime is keyed on the campaign's FnName, not this label.
+func (BuggyIM) Name() string { return "byz-IM" }
+
+// Sync adopts the tightened maximum-overlap window unconditionally.
+func (BuggyIM) Sync(s *core.Server, t float64, replies []core.Reply) core.Result {
+	var res core.Result
+	ivs := []interval.Interval{s.Interval(t)}
+	for _, r := range replies {
+		// The honest interval construction (core.Server.effective): age the
+		// reply by the collection delay, charge drift on the age and one
+		// transit on the lead. The construction is correct — the bug is
+		// purely in what the function does with the intervals.
+		age := math.Max(0, r.Age)
+		drift := s.Delta() * age
+		c := r.C + age
+		ivs = append(ivs, interval.Interval{
+			Lo: c - (r.E + drift),
+			Hi: c + (r.E + (1+s.Delta())*r.RTT + drift),
+		})
+	}
+	best := interval.Marzullo(ivs)
+	var member []interval.Interval
+	for _, iv := range ivs {
+		if interval.Consistent(iv, best.Interval) {
+			member = append(member, iv)
+		}
+	}
+	common, ok := interval.IntersectAll(member)
+	if !ok {
+		common = best.Interval
+	}
+	// BUG: no check that best.Count clears len(ivs)-F — any agreement,
+	// however thin or however much of it is lies, is adopted.
+	s.SetClock(t, common.Midpoint(), common.HalfWidth())
+	res.Reset = true
+	res.Accepted = best.Count
 	return res
 }

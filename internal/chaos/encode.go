@@ -24,11 +24,16 @@ import (
 //	loss@<at>+<dur>*<p>        delay@<at>+<dur>*<mult>
 //	part@<at>+<dur>=<g>|<g>    crash:<srv>@<at>+<dur>
 //	churn:<srv>@<at>+<dur>
+//	twoface:<srv>@<at>+<dur>=<p0>,<p1>,...
+//	equiv:<srv>@<at>+<dur>=<p0>,<p1>,...
 //
-// where a partition group <g> is '.'-joined server indices. An empty
-// schedule is written as `faults=-`. The optional `mem=1` field enables
-// dynamic membership; it is omitted when unset, so pre-membership
-// reproducer lines parse (and re-encode) unchanged.
+// where a partition group <g> is '.'-joined server indices and a
+// twoface/equiv offset list is ','-joined per-destination skews (one per
+// server, the liar's own slot zero). An empty schedule is written as
+// `faults=-`. The optional `mem=1` field enables dynamic membership and
+// the optional `phi=1` field (requires mem=1) selects the phi-accrual
+// failure detector; both are omitted when unset, so older reproducer
+// lines parse (and re-encode) unchanged.
 
 // fmtF renders a float with the shortest decimal that round-trips.
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -40,6 +45,9 @@ func (c Campaign) String() string {
 		c.Seed, c.N, c.Topo, c.FnName, boolBit(c.Recovery))
 	if c.Mem {
 		b.WriteString(" mem=1")
+	}
+	if c.Phi {
+		b.WriteString(" phi=1")
 	}
 	fmt.Fprintf(&b, " dur=%s sync=%s faults=", fmtF(c.Dur), fmtF(c.Sync))
 	if len(c.Faults) == 0 {
@@ -83,6 +91,13 @@ func encodeFault(f Fault) string {
 			groups[g] = strings.Join(parts, ".")
 		}
 		return fmt.Sprintf("%s@%s+%s=%s", f.Kind, fmtF(f.At), fmtF(f.Dur), strings.Join(groups, "|"))
+	case TwoFaced, Equivocate:
+		offs := make([]string, len(f.Peers))
+		for i, off := range f.Peers {
+			offs[i] = fmtF(off)
+		}
+		return fmt.Sprintf("%s:%d@%s+%s=%s", f.Kind, f.Target, fmtF(f.At), fmtF(f.Dur),
+			strings.Join(offs, ","))
 	}
 	return fmt.Sprintf("?%d", f.Kind)
 }
@@ -122,6 +137,11 @@ func Parse(line string) (Campaign, error) {
 			}
 		case "mem":
 			c.Mem = val == "1"
+			if val != "0" && val != "1" {
+				err = fmt.Errorf("want 0 or 1, got %q", val)
+			}
+		case "phi":
+			c.Phi = val == "1"
 			if val != "0" && val != "1" {
 				err = fmt.Errorf("want 0 or 1, got %q", val)
 			}
@@ -167,15 +187,17 @@ func parseFaults(s string) ([]Fault, error) {
 
 // kindsByName is the inverse of kindNames.
 var kindsByName = map[string]FaultKind{
-	"stop":  StopClock,
-	"race":  RaceClock,
-	"stick": StickClock,
-	"false": Falseticker,
-	"loss":  LossBurst,
-	"delay": DelaySpike,
-	"part":  Partition,
-	"crash": Crash,
-	"churn": Churn,
+	"stop":    StopClock,
+	"race":    RaceClock,
+	"stick":   StickClock,
+	"false":   Falseticker,
+	"loss":    LossBurst,
+	"delay":   DelaySpike,
+	"part":    Partition,
+	"crash":   Crash,
+	"churn":   Churn,
+	"twoface": TwoFaced,
+	"equiv":   Equivocate,
 }
 
 // parseFault decodes one fault token per the grammar above.
@@ -202,12 +224,21 @@ func parseFault(tok string) (Fault, error) {
 		f.Target = t
 	}
 	// rest is one of: <at>, <at>*<param>, <at>+<dur>, <at>+<dur>*<param>,
-	// <at>+<dur>=<groups>.
+	// <at>+<dur>=<groups>, <at>+<dur>=<offsets>. The '=' suffix is cut
+	// first so group and offset payloads never collide with the '*' and
+	// '+' cuts below.
 	var groupSpec string
 	if kind == Partition {
 		rest, groupSpec, ok = strings.Cut(rest, "=")
 		if !ok {
 			return Fault{}, fmt.Errorf("partition missing '='")
+		}
+	}
+	var peerSpec string
+	if kind.isLyingFault() {
+		rest, peerSpec, ok = strings.Cut(rest, "=")
+		if !ok {
+			return Fault{}, fmt.Errorf("%s missing '=' offset list", name)
 		}
 	}
 	var paramSpec string
@@ -250,6 +281,15 @@ func parseFault(tok string) (Fault, error) {
 				}
 			}
 			f.Groups = append(f.Groups, members)
+		}
+	}
+	if kind.isLyingFault() {
+		for _, part := range strings.Split(peerSpec, ",") {
+			off, err := strconv.ParseFloat(part, 64)
+			if err != nil {
+				return Fault{}, fmt.Errorf("peer offset: %w", err)
+			}
+			f.Peers = append(f.Peers, off)
 		}
 	}
 	return f, nil

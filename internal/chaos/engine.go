@@ -83,6 +83,23 @@ func (e *engine) install(c Campaign) error {
 				e.svc.Leave(f.Target)
 			})
 			e.svc.Sim.At(f.At+f.Dur, func() { e.svc.Rejoin(f.Target) })
+		case TwoFaced:
+			// The server starts answering each peer from a per-destination
+			// skewed register at At and reverts to honesty at At+Dur. Its
+			// own bookkeeping never lies — only the replies do.
+			e.svc.Sim.At(f.At, func() {
+				e.sink.activated(TwoFaced)
+				e.svc.SetTwoFaced(f.Target, f.Peers)
+			})
+			e.svc.Sim.At(f.At+f.Dur, func() { e.svc.ClearTwoFaced(f.Target) })
+		case Equivocate:
+			// The server's pushed digests advertise conflicting <C, E> pairs
+			// per destination during the window.
+			e.svc.Sim.At(f.At, func() {
+				e.sink.activated(Equivocate)
+				e.svc.SetEquivocate(f.Target, f.Peers)
+			})
+			e.svc.Sim.At(f.At+f.Dur, func() { e.svc.ClearEquivocate(f.Target) })
 		case StopClock, RaceClock, StickClock:
 			// Armed inside the clock wrappers at build time; counted as
 			// armed here (the wrapper fires without a simulator event).

@@ -143,3 +143,71 @@ func (f SelectIM) Sync(s *Server, t float64, replies []Reply) Result {
 	res.Accepted = best.Count
 	return res
 }
+
+// ByzIM is the Byzantine-tolerant intersection function: it adopts the
+// agreement envelope — the span of every point covered by at least
+// len(ivs)-F of the considered intervals (MarzulloSpan) — rather than a
+// refined intersection. With at most F two-faced or otherwise arbitrary
+// servers among the repliers, real time is covered by every correct
+// interval, hence by at least len(ivs)-F intervals, hence lies inside the
+// span no matter what the liars report to this particular peer. SelectIM
+// does not have this property: a single liar whose interval overlaps one
+// flank of the honest cluster drags the max-overlap window (and its
+// tightened intersection) off real time, which is exactly the violation
+// the chaos tier's BuggyIM plants. The price of soundness is width: the
+// span never excludes a liar's overlap, so the adopted error bound is
+// wider than SelectIM's. An empty envelope means more than F of the
+// collected intervals lie (or the budget was misconfigured); ByzIM then
+// refuses to act and flags every reply — rule IM-2's shape — so the
+// recovery policy can take over.
+type ByzIM struct {
+	// F is the fault budget: how many of the considered intervals may be
+	// arbitrary. Containment of real time holds whenever the actual
+	// number of faulty repliers is at most F; n >= 3F+1 additionally
+	// keeps the adopted width within the honest cluster's spread. F <= 0
+	// means floor((len(ivs)-1)/3), the largest budget a fully collected
+	// round of the classical n >= 3f+1 resilience bound supports.
+	F int
+	// FloorError clamps the derived error from below, as in IM.
+	FloorError float64
+}
+
+// Name returns "byz-IM".
+func (ByzIM) Name() string { return "byz-IM" }
+
+// Sync adopts the midpoint of the coverage-(len-F) agreement envelope.
+func (f ByzIM) Sync(s *Server, t float64, replies []Reply) Result {
+	var res Result
+	ci := s.Read(t)
+	ei := s.ErrorAt(t)
+	ivs := []interval.Interval{interval.FromEstimate(ci, ei)}
+	for _, r := range replies {
+		c, trail, lead := s.effective(r)
+		ivs = append(ivs, interval.Interval{Lo: c - trail, Hi: c + lead})
+	}
+	budget := f.F
+	if budget <= 0 {
+		budget = (len(ivs) - 1) / 3
+	}
+	need := len(ivs) - budget
+	if need < 1 {
+		need = 1
+	}
+	span, ok := interval.MarzulloSpan(ivs, need)
+	if !ok {
+		// No point is covered by len-F intervals: more than F of what was
+		// collected is lying, which the budget does not cover. Refuse to
+		// act and flag the replies so recovery can run.
+		s.noteInconsistent()
+		res.Inconsistent = inconsistentIndices(len(replies))
+		return res
+	}
+	eps := span.HalfWidth()
+	if f.FloorError > eps {
+		eps = f.FloorError
+	}
+	s.SetClock(t, span.Midpoint(), eps)
+	res.Reset = true
+	res.Accepted = len(ivs)
+	return res
+}

@@ -260,6 +260,32 @@ func (sw *Sweeper) MarzulloAtLeast(ivs []Interval, m int) (Interval, bool) {
 	return Interval{}, false
 }
 
+// MarzulloSpan is the Sweeper form of the package-level MarzulloSpan.
+//
+//lint:noalloc
+func (sw *Sweeper) MarzulloSpan(ivs []Interval, m int) (Interval, bool) {
+	if m <= 0 {
+		return Interval{}, false
+	}
+	sw.load(ivs)
+	depth := 0
+	start := math.NaN()
+	end := math.NaN()
+	for _, e := range sw.edges {
+		depth += int(e.delta)
+		if e.delta > 0 && depth == m && math.IsNaN(start) {
+			start = e.at
+		}
+		if e.delta < 0 && depth == m-1 {
+			end = e.at
+		}
+	}
+	if math.IsNaN(start) {
+		return Interval{}, false
+	}
+	return Interval{Lo: start, Hi: end}, true
+}
+
 // sweeperPool recycles Sweepers behind the package-level entry points, so
 // Marzullo and MarzulloAtLeast are allocation-free in steady state and safe
 // under concurrent experiment trials.
@@ -288,6 +314,25 @@ func Marzullo(ivs []Interval) Best {
 func MarzulloAtLeast(ivs []Interval, m int) (Interval, bool) {
 	sw := sweeperPool.Get().(*Sweeper)
 	iv, ok := sw.MarzulloAtLeast(ivs, m)
+	sweeperPool.Put(sw)
+	return iv, ok
+}
+
+// MarzulloSpan returns the envelope of agreement at coverage m: the span
+// from the first point covered by at least m source intervals to the last
+// such point, and whether any point reaches that coverage. Unlike
+// MarzulloAtLeast — which returns only the leftmost maximal region — the
+// span includes every point of sufficient coverage, so it is the sound
+// basis for Byzantine-tolerant adoption: with at most f arbitrary liars
+// among the sources and m chosen so that the correct sources alone reach
+// m, real time is covered by all correct intervals and therefore lies
+// inside the span, wherever the liars place their endpoints. m must be
+// positive.
+//
+//lint:noalloc
+func MarzulloSpan(ivs []Interval, m int) (Interval, bool) {
+	sw := sweeperPool.Get().(*Sweeper)
+	iv, ok := sw.MarzulloSpan(ivs, m)
 	sweeperPool.Put(sw)
 	return iv, ok
 }

@@ -644,3 +644,90 @@ func BenchmarkMarzullo(b *testing.B) {
 		Marzullo(ivs)
 	}
 }
+
+func TestMarzulloSpan(t *testing.T) {
+	ivs := []Interval{{Lo: 0, Hi: 4}, {Lo: 1, Hi: 5}, {Lo: 2, Hi: 6}, {Lo: 90, Hi: 91}}
+	tests := []struct {
+		m      int
+		want   Interval
+		wantOK bool
+	}{
+		{m: 0, wantOK: false},
+		{m: -1, wantOK: false},
+		// The span reaches across the coverage gap between the cluster
+		// and the outlier — that is the difference from MarzulloAtLeast,
+		// which stops at the leftmost maximal region.
+		{m: 1, want: Interval{Lo: 0, Hi: 91}, wantOK: true},
+		{m: 2, want: Interval{Lo: 1, Hi: 5}, wantOK: true},
+		{m: 3, want: Interval{Lo: 2, Hi: 4}, wantOK: true},
+		{m: 4, wantOK: false},
+	}
+	for _, tt := range tests {
+		got, ok := MarzulloSpan(ivs, tt.m)
+		if ok != tt.wantOK {
+			t.Fatalf("MarzulloSpan(m=%d) ok = %v, want %v", tt.m, ok, tt.wantOK)
+		}
+		if ok && got != tt.want {
+			t.Errorf("MarzulloSpan(m=%d) = %v, want %v", tt.m, got, tt.want)
+		}
+	}
+	if _, ok := MarzulloSpan(nil, 1); ok {
+		t.Error("MarzulloSpan(nil, 1) succeeded, want no coverage")
+	}
+}
+
+// TestMarzulloSpanByzantineSoundness is the envelope property ByzIM
+// adoption rests on: with at most f arbitrary liars among n sources and
+// m = n - f, every point covered by all correct intervals — in
+// particular the true time they were built around — lies inside the
+// span, wherever the liars place their endpoints.
+func TestMarzulloSpanByzantineSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		n := 4 + rng.Intn(7)
+		f := rng.Intn(n / 3)
+		truth := float64(rng.Intn(100))
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			if i < f {
+				// Liar: arbitrary interval, may or may not cover truth.
+				lo := float64(rng.Intn(200)) - 50
+				ivs[i] = Interval{Lo: lo, Hi: lo + float64(rng.Intn(20))}
+			} else {
+				// Correct: contains truth by construction.
+				e := 0.5 + float64(rng.Intn(10))
+				ivs[i] = Interval{Lo: truth - e, Hi: truth + e}
+			}
+		}
+		span, ok := MarzulloSpan(ivs, n-f)
+		if !ok {
+			t.Fatalf("trial %d: no span at m=%d with %d correct sources", trial, n-f, n-f)
+		}
+		if !span.Contains(truth) {
+			t.Fatalf("trial %d: span %v excludes truth %v (n=%d f=%d ivs=%v)",
+				trial, span, truth, n, f, ivs)
+		}
+	}
+}
+
+// TestMarzulloSpanContainsAtLeast: the span at coverage m must contain
+// the leftmost maximal region at the same coverage.
+func TestMarzulloSpanContainsAtLeast(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(10)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			ivs[i] = FromEstimate(float64(rng.Intn(30)), float64(rng.Intn(8))/2)
+		}
+		m := 1 + rng.Intn(n)
+		left, okL := MarzulloAtLeast(ivs, m)
+		span, okS := MarzulloSpan(ivs, m)
+		if okL != okS {
+			t.Fatalf("trial %d: MarzulloAtLeast ok=%v but MarzulloSpan ok=%v at m=%d", trial, okL, okS, m)
+		}
+		if okL && !span.ContainsInterval(left) {
+			t.Fatalf("trial %d: span %v does not contain leftmost region %v at m=%d", trial, span, left, m)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package member
 import (
 	"cmp"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -43,6 +44,29 @@ func (c DetectorConfig) withDefaults() DetectorConfig {
 	return c
 }
 
+// Validate rejects configurations whose deadline formula is meaningless.
+// The dangerous case is RemoteDelta >= 1: the sender's heartbeat period
+// Period/(1-RemoteDelta) then divides by zero or goes negative, and a
+// silently computed SuspectAfter would be negative or infinite —
+// immediately mass-evicting every member or never suspecting anyone,
+// depending on sign. NaN drift or delay bounds are rejected for the same
+// reason.
+func (c DetectorConfig) Validate() error {
+	c = c.withDefaults()
+	if !(c.Period > 0) {
+		return fmt.Errorf("member: non-positive heartbeat period %v", c.Period)
+	}
+	if math.IsNaN(c.LocalDelta) || math.IsNaN(c.RemoteDelta) ||
+		c.LocalDelta < 0 || c.RemoteDelta < 0 || c.RemoteDelta >= 1 {
+		return fmt.Errorf("member: drift bounds (local %v, remote %v) outside [0,1)",
+			c.LocalDelta, c.RemoteDelta)
+	}
+	if math.IsNaN(c.Xi) || c.Xi < 0 {
+		return fmt.Errorf("member: negative delay bound %v", c.Xi)
+	}
+	return nil
+}
+
 // SuspectAfter returns the local-clock silence, in seconds, after which
 // a member is suspected:
 //
@@ -60,7 +84,16 @@ func (c DetectorConfig) withDefaults() DetectorConfig {
 // with certainty — suspicion of a correct, connected member is
 // impossible by construction, which is the property the package's
 // tests assert at exactly the claimed drift bounds.
+//
+// A configuration Validate rejects yields +Inf: a degenerate deadline
+// must fail safe (never suspect anyone) rather than return a negative or
+// NaN span that would instantly evict every correct member. Callers that
+// want the error instead of the clamp run Validate first, as NewDetector
+// does.
 func (c DetectorConfig) SuspectAfter() float64 {
+	if c.Validate() != nil {
+		return math.Inf(1)
+	}
 	c = c.withDefaults()
 	return (float64(c.Misses)*c.Period/(1-c.RemoteDelta) + c.Xi) * (1 + c.LocalDelta)
 }
@@ -70,6 +103,24 @@ func (c DetectorConfig) SuspectAfter() float64 {
 // evicted within a bounded, computable window — the detector's
 // completeness bound, also property-tested.
 func (c DetectorConfig) EvictAfter() float64 { return 2 * c.SuspectAfter() }
+
+// FailureDetector is the behavioural contract shared by the
+// drift-widened deadline Detector and the phi-accrual PhiDetector, so
+// the service can select either implementation per configuration:
+// record freshness evidence, drop departed members, report last contact,
+// and turn silence into edge-triggered Suspect/Evicted verdicts on the
+// observer's local clock.
+type FailureDetector[ID cmp.Ordered] interface {
+	// Observe records direct evidence of id's liveness at localNow.
+	Observe(id ID, localNow float64)
+	// Forget drops id's timing state.
+	Forget(id ID)
+	// LastHeard returns when id was last observed on the local clock.
+	LastHeard(id ID) (float64, bool)
+	// Check returns the members whose verdict escalated since the last
+	// check, in increasing ID order.
+	Check(localNow float64) []Verdict[ID]
+}
 
 // Verdict is one failure-detector decision.
 type Verdict[ID cmp.Ordered] struct {
@@ -96,15 +147,8 @@ type Detector[ID cmp.Ordered] struct {
 // NewDetector returns a detector with the given deadline configuration.
 func NewDetector[ID cmp.Ordered](cfg DetectorConfig) (*Detector[ID], error) {
 	cfg = cfg.withDefaults()
-	if !(cfg.Period > 0) {
-		return nil, fmt.Errorf("member: non-positive heartbeat period %v", cfg.Period)
-	}
-	if cfg.LocalDelta < 0 || cfg.RemoteDelta < 0 || cfg.RemoteDelta >= 1 {
-		return nil, fmt.Errorf("member: drift bounds (local %v, remote %v) outside [0,1)",
-			cfg.LocalDelta, cfg.RemoteDelta)
-	}
-	if cfg.Xi < 0 {
-		return nil, fmt.Errorf("member: negative delay bound %v", cfg.Xi)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	return &Detector[ID]{
 		cfg:   cfg,

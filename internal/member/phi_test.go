@@ -1,0 +1,221 @@
+package member
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPhiConfigDefaults pins the documented zero-value fills.
+func TestPhiConfigDefaults(t *testing.T) {
+	c := PhiConfig{Period: 2}.withDefaults()
+	if c.SuspectPhi != 8 || c.EvictPhi != 16 || c.Window != 32 || c.MinStdDev != 0.2 {
+		t.Fatalf("defaults = %+v, want suspect 8, evict 16, window 32, minstddev 0.2", c)
+	}
+	// Explicit values survive.
+	c = PhiConfig{Period: 1, SuspectPhi: 3, EvictPhi: 5, Window: 8, MinStdDev: 0.5}.withDefaults()
+	if c.SuspectPhi != 3 || c.EvictPhi != 5 || c.Window != 8 || c.MinStdDev != 0.5 {
+		t.Fatalf("explicit config rewritten: %+v", c)
+	}
+}
+
+// TestPhiConfigValidate is the degenerate-config table: every config
+// the phi formula cannot score must be rejected, and the constructor
+// must surface the same rejection.
+func TestPhiConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  PhiConfig
+		ok   bool
+	}{
+		{"valid", PhiConfig{Period: 1}, true},
+		{"valid explicit", PhiConfig{Period: 0.5, SuspectPhi: 4, EvictPhi: 9, Window: 4}, true},
+		{"zero period", PhiConfig{}, false},
+		{"negative period", PhiConfig{Period: -1}, false},
+		{"NaN period", PhiConfig{Period: math.NaN()}, false},
+		{"inverted thresholds", PhiConfig{Period: 1, SuspectPhi: 9, EvictPhi: 4}, false},
+		{"NaN threshold", PhiConfig{Period: 1, SuspectPhi: math.NaN(), EvictPhi: 2}, false},
+		{"window below 2", PhiConfig{Period: 1, Window: 1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+		_, err = NewPhiDetector[int](tc.cfg)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: NewPhiDetector = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestArrivalHistory drives the sliding window through the wraparound
+// and checks the running moments against direct computation.
+func TestArrivalHistory(t *testing.T) {
+	var h arrivalHistory
+	const window = 4
+	feed := []float64{1, 2, 3, 4, 5, 6} // last four: 3,4,5,6
+	for i, v := range feed {
+		h.add(v, window)
+		wantN := i + 1
+		if wantN > window {
+			wantN = window
+		}
+		if h.count() != wantN {
+			t.Fatalf("after %d adds: count %d, want %d", i+1, h.count(), wantN)
+		}
+	}
+	mean, stddev := h.stats()
+	if mean != 4.5 {
+		t.Fatalf("mean = %v, want 4.5 over the retained window", mean)
+	}
+	// Direct: variance of {3,4,5,6} = 1.25.
+	if want := math.Sqrt(1.25); math.Abs(stddev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", stddev, want)
+	}
+	// A constant stream must not go negative under cancellation.
+	var c arrivalHistory
+	for i := 0; i < 10; i++ {
+		c.add(0.125, window)
+	}
+	if _, sd := c.stats(); sd != 0 {
+		t.Fatalf("constant stream stddev = %v, want 0", sd)
+	}
+}
+
+// TestPhiFunction pins the logistic approximation's shape: zero for
+// deep-negative arguments, monotone increasing, ~0.3 at y=0 (phi of an
+// exactly-on-time silence is log10(2)), and the overflow-safe asymptote
+// v/ln10 for large y.
+func TestPhiFunction(t *testing.T) {
+	if got := phi(-40); got != 0 {
+		t.Fatalf("phi(-40) = %v, want 0", got)
+	}
+	if got, want := phi(0), math.Log10(2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("phi(0) = %v, want log10(2) = %v", got, want)
+	}
+	prev := 0.0
+	for y := -5.0; y <= 50; y += 0.5 {
+		p := phi(y)
+		if p < prev {
+			t.Fatalf("phi not monotone: phi(%v) = %v < %v", y, p, prev)
+		}
+		prev = p
+	}
+	// Large-argument branch: phi = v/ln10 exactly.
+	y := 10.0
+	v := y * (1.5976 + 0.070566*y*y)
+	if got, want := phi(y), v/math.Ln10; got != want {
+		t.Fatalf("phi(%v) = %v, want asymptotic %v", y, got, want)
+	}
+}
+
+// TestPhiDetectorLifecycle walks one member through the full evidence
+// flow: untracked, fresh, bootstrap scoring, learned scoring,
+// edge-triggered Suspect then Evicted verdicts, and Forget.
+func TestPhiDetectorLifecycle(t *testing.T) {
+	// MinStdDev 1 keeps the phi ramp gentle enough that half-second
+	// checks observe the Suspect stage before the Evicted stage.
+	d, err := NewPhiDetector[int](PhiConfig{Period: 1, SuspectPhi: 1, EvictPhi: 3, Window: 4, MinStdDev: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Config().EvictPhi; got != 3 {
+		t.Fatalf("Config().EvictPhi = %v, want 3", got)
+	}
+	if p := d.Phi(7, 100); p != 0 {
+		t.Fatalf("untracked member phi = %v, want 0", p)
+	}
+
+	d.Observe(7, 10)
+	if last, ok := d.LastHeard(7); !ok || last != 10 {
+		t.Fatalf("LastHeard = %v, %v; want 10, true", last, ok)
+	}
+	if p := d.Phi(7, 10); p != 0 {
+		t.Fatalf("fresh member phi = %v, want 0", p)
+	}
+	// Bootstrap estimate (mean Period, deviation Period/4): one period
+	// of silence scores phi(0), far past it accrues.
+	if p := d.Phi(7, 11); math.Abs(p-math.Log10(2)) > 1e-12 {
+		t.Fatalf("bootstrap phi at one period = %v, want log10(2)", p)
+	}
+	if p := d.Phi(7, 20); p < 3 {
+		t.Fatalf("ten periods of silence scored phi = %v, want accrual past evict", p)
+	}
+
+	// Regular heartbeats at the period keep phi at zero and learn the
+	// inter-arrival distribution.
+	for now := 11.0; now <= 15; now++ {
+		d.Observe(7, now)
+	}
+	if p := d.Phi(7, 15.5); p >= 1 {
+		t.Fatalf("half a period of silence on a learned stream: phi = %v, want < 1", p)
+	}
+
+	// Silence escalates: Suspect fires once, then Evicted once, each
+	// edge-triggered (no repeats while the stage holds).
+	var suspectAt, evictAt float64
+	for now := 15.5; now < 40; now += 0.5 {
+		for _, v := range d.Check(now) {
+			switch v.Status {
+			case Suspect:
+				if suspectAt != 0 {
+					t.Fatalf("duplicate Suspect verdict at %v (first at %v)", now, suspectAt)
+				}
+				suspectAt = now
+			case Evicted:
+				if evictAt != 0 {
+					t.Fatalf("duplicate Evicted verdict at %v (first at %v)", now, evictAt)
+				}
+				evictAt = now
+				if v.Silence <= 0 {
+					t.Fatalf("eviction verdict carries silence %v, want > 0", v.Silence)
+				}
+			}
+		}
+	}
+	if suspectAt == 0 || evictAt == 0 || evictAt <= suspectAt {
+		t.Fatalf("suspect at %v, evict at %v; want 0 < suspect < evict", suspectAt, evictAt)
+	}
+
+	// Fresh evidence resets the stage: the member is suspectable again.
+	d.Observe(7, 40)
+	if vs := d.Check(40); len(vs) != 0 {
+		t.Fatalf("verdicts immediately after fresh evidence: %v", vs)
+	}
+
+	d.Forget(7)
+	if _, ok := d.LastHeard(7); ok {
+		t.Fatal("LastHeard after Forget, want untracked")
+	}
+	if p := d.Phi(7, 100); p != 0 {
+		t.Fatalf("forgotten member phi = %v, want 0", p)
+	}
+}
+
+// TestPhiDetectorCheckOrder pins deterministic verdict order: members
+// escalating in the same check come out in increasing ID order.
+func TestPhiDetectorCheckOrder(t *testing.T) {
+	d, err := NewPhiDetector[int](PhiConfig{Period: 1, SuspectPhi: 1, EvictPhi: 100, MinStdDev: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{9, 2, 5} {
+		d.Observe(id, 0)
+	}
+	vs := d.Check(4)
+	if len(vs) != 3 {
+		t.Fatalf("got %d verdicts, want 3", len(vs))
+	}
+	for i, want := range []int{2, 5, 9} {
+		if vs[i].ID != want || vs[i].Status != Suspect {
+			t.Fatalf("verdict %d = %+v, want ID %d Suspect", i, vs[i], want)
+		}
+	}
+}
+
+// TestPhiDetectorSatisfiesInterface pins that both detectors stay
+// swappable behind the shared contract.
+func TestPhiDetectorSatisfiesInterface(t *testing.T) {
+	var _ FailureDetector[int] = &PhiDetector[int]{}
+	var _ FailureDetector[int] = &Detector[int]{}
+}

@@ -38,6 +38,15 @@ type MemberConfig struct {
 	// Broadcast keeps sync rounds on topology-wide broadcast instead of
 	// roster-driven selection (membership becomes observational only).
 	Broadcast bool
+	// Detector selects the failure-detection strategy: "deadline" (the
+	// drift-widened fixed deadline of member.Detector, the default) or
+	// "phi" (the phi-accrual member.PhiDetector, which learns each
+	// link's inter-arrival distribution instead of assuming the claimed
+	// bounds).
+	Detector string
+	// PhiThreshold overrides the phi suspicion threshold when Detector
+	// is "phi"; zero means member.PhiConfig's default (8).
+	PhiThreshold float64
 }
 
 // withDefaults fills the zero fields.
@@ -53,6 +62,9 @@ func (c MemberConfig) withDefaults() MemberConfig {
 	}
 	if c.K <= 0 {
 		c.K = 3
+	}
+	if c.Detector == "" {
+		c.Detector = "deadline"
 	}
 	return c
 }
@@ -156,13 +168,25 @@ func (svc *Service) initMembership() error {
 	}
 	for i, node := range svc.Nodes {
 		spec := svc.cfg.Servers[i]
-		det, err := member.NewDetector[int](member.DetectorConfig{
-			Period:      mc.GossipEvery,
-			Misses:      mc.Misses,
-			LocalDelta:  spec.Delta,
-			RemoteDelta: maxDelta,
-			Xi:          svc.Net.Xi(),
-		})
+		var det member.FailureDetector[int]
+		var err error
+		switch mc.Detector {
+		case "deadline":
+			det, err = member.NewDetector[int](member.DetectorConfig{
+				Period:      mc.GossipEvery,
+				Misses:      mc.Misses,
+				LocalDelta:  spec.Delta,
+				RemoteDelta: maxDelta,
+				Xi:          svc.Net.Xi(),
+			})
+		case "phi":
+			det, err = member.NewPhiDetector[int](member.PhiConfig{
+				Period:     mc.GossipEvery,
+				SuspectPhi: mc.PhiThreshold,
+			})
+		default:
+			err = fmt.Errorf("unknown detector %q (want \"deadline\" or \"phi\")", mc.Detector)
+		}
 		if err != nil {
 			return fmt.Errorf("service: membership detector for server %d: %w", i, err)
 		}
@@ -267,6 +291,7 @@ func (n *Node) pushDigest() {
 		}
 		g := svc.newGossip()
 		g.entries = n.roster.Digest(g.entries, mc.DigestMax)
+		n.equivocateEntry(g.entries, id)
 		sent := len(g.entries)
 		if !svc.Net.Send(n.NetID, svc.Nodes[id].NetID, g) {
 			svc.putGossip(g)

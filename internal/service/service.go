@@ -144,9 +144,13 @@ type Node struct {
 
 	// Dynamic membership state (nil/zero when Config.Members is unset).
 	roster     *member.Roster[int]
-	detector   *member.Detector[int]
+	detector   member.FailureDetector[int]
 	stopGossip func()
 	departed   bool
+
+	// Adversarial state installed by the chaos tier (nil when honest).
+	twoFaced   []float64 // per-destination reply skew (SetTwoFaced)
+	equivocate []float64 // per-destination gossip skew (SetEquivocate)
 
 	// Counters for experiment reporting.
 	Syncs          int
@@ -372,8 +376,17 @@ func (n *Node) handle(m simnet.Message) {
 	}
 	switch p := m.Payload.(type) {
 	case timeRequest:
-		// Rule MM-1: answer with the current reading.
-		n.svc.Net.Send(n.NetID, m.From, n.svc.newReply(p.id, n.Server.Reading(now)))
+		// Rule MM-1: answer with the current reading. A two-faced server
+		// answers each peer from an independently skewed clock register —
+		// its own bookkeeping stays honest, only the reply lies, and it
+		// lies differently per destination.
+		reading := n.Server.Reading(now)
+		if n.twoFaced != nil {
+			if j := int(m.From); j >= 0 && j < len(n.twoFaced) {
+				reading.C += n.twoFaced[j]
+			}
+		}
+		n.svc.Net.Send(n.NetID, m.From, n.svc.newReply(p.id, reading))
 	case *timeReply:
 		id, reading := p.id, p.reading
 		n.svc.putReply(p)

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"disttime/internal/wire"
 )
 
 // TestBatchServerConcurrentClose hammers Close from many goroutines
@@ -139,5 +141,64 @@ func TestBatchServerServes(t *testing.T) {
 	}
 	if srv.Requests() < res.Received {
 		t.Fatalf("server counted %d requests, client received %d", srv.Requests(), res.Received)
+	}
+}
+
+// queryOne sends a single request and returns the parsed reply.
+func queryOne(t *testing.T, addr string, id uint64) wire.Response {
+	t.Helper()
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(wire.AppendRequest(nil, wire.Request{ReqID: id})); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, maxDatagram)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ParseResponse(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestBatchServerDirectRead pins the Tick < 0 parity mode's defining
+// behavior: with the cache disabled every reply reads the source at
+// serve time, so a source update is visible in the very next reply with
+// no per-tick widening and no frozen-snapshot staleness — including an
+// error bound that narrows, which a cached reading can never do within
+// a tick.
+func TestBatchServerDirectRead(t *testing.T) {
+	src := &steppedSource{}
+	c0 := time.Unix(0, 1_650_000_000_000_000_000)
+	src.set(c0, 100*time.Microsecond, true)
+	srv, err := NewBatchServer("127.0.0.1:0", 3, src, BatchConfig{Shards: 1, Tick: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp := queryOne(t, srv.Addr().String(), 21)
+	if !resp.Clock.Equal(c0) || resp.MaxError != 100*time.Microsecond || resp.Unsynchronized {
+		t.Fatalf("first reply <%v, %v, unsync=%v>, want exact fresh reading <%v, %v, unsync=false>",
+			resp.Clock, resp.MaxError, resp.Unsynchronized, c0, 100*time.Microsecond)
+	}
+
+	c1 := c0.Add(time.Hour)
+	src.set(c1, 75*time.Microsecond, false)
+	resp = queryOne(t, srv.Addr().String(), 22)
+	if !resp.Clock.Equal(c1) || resp.MaxError != 75*time.Microsecond || !resp.Unsynchronized {
+		t.Fatalf("second reply <%v, %v, unsync=%v>, want immediate narrowed reading <%v, %v, unsync=true>",
+			resp.Clock, resp.MaxError, resp.Unsynchronized, c1, 75*time.Microsecond)
 	}
 }

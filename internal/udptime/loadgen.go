@@ -19,8 +19,11 @@ type LoadConfig struct {
 	// Conns is the number of concurrent client sockets (default 1).
 	Conns int
 	// Window is the number of in-flight requests per connection — the
-	// closed-loop concurrency (default 32, capped at 1024). A new
-	// request is issued only when an outstanding one completes.
+	// closed-loop concurrency (default 32). A new request is issued only
+	// when an outstanding one completes. Values above MaxWindow are
+	// rejected: the window slot rides in the request ID's low bits, and a
+	// wider window would alias two in-flight slots onto one bit pattern
+	// and misattribute their replies.
 	Window int
 	// Batch is the I/O batch size per connection (default 32).
 	Batch int
@@ -57,7 +60,12 @@ type LoadResult struct {
 	P50, P90, P99, P999 time.Duration
 }
 
-const maxWindow = 1024
+// MaxWindow is the largest per-connection Window RunLoad accepts. Reply
+// routing embeds the window slot in the request ID's low ten bits
+// (slotMask in runConn), so this is a wire-format constant, not a tuning
+// default: a window of MaxWindow+1 would give two slots the same low
+// bits and a reply for one would complete (and time) the other.
+const MaxWindow = 1024
 
 // loadGen is the shared state of one RunLoad invocation.
 type loadGen struct {
@@ -94,8 +102,11 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = 32
 	}
-	if cfg.Window > maxWindow {
-		cfg.Window = maxWindow
+	if cfg.Window > MaxWindow {
+		// Refuse rather than clamp: a silently narrowed window changes the
+		// measured concurrency, which is the one knob a load run is about.
+		return LoadResult{}, fmt.Errorf("udptime: load: window %d exceeds MaxWindow %d (slot bits in the request ID)",
+			cfg.Window, MaxWindow)
 	}
 	cfg.Batch = clampBatch(cfg.Batch)
 	if cfg.Timeout <= 0 {
@@ -208,8 +219,9 @@ func (g *loadGen) runConn() error {
 
 	// slotMask embeds the window slot in the request ID's low bits so a
 	// reply resolves its slot without a map lookup; the remaining 54
-	// random bits still defeat off-path spoofing.
-	const slotMask = maxWindow - 1
+	// random bits still defeat off-path spoofing. RunLoad rejects
+	// Window > MaxWindow, so slots fit the mask exactly.
+	const slotMask = MaxWindow - 1
 
 	perConnRate := g.cfg.Rate / float64(g.cfg.Conns)
 	var issued float64

@@ -118,3 +118,44 @@ func TestRunLoadRejectsEmptyAddr(t *testing.T) {
 		t.Fatal("empty address must be rejected")
 	}
 }
+
+// TestRunLoadWindowLimit pins the slot-aliasing boundary. Reply routing
+// embeds the window slot in the request ID's low bits, so MaxWindow is a
+// wire-format constant: a window of exactly MaxWindow gives every
+// in-flight slot a distinct bit pattern and must run clean against a
+// live server, while MaxWindow+1 must be rejected up front — silently
+// clamping (the old behavior) would change the measured concurrency,
+// and honoring it would let one slot's reply complete another's.
+func TestRunLoadWindowLimit(t *testing.T) {
+	src, err := NewSystemClock(time.Millisecond, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewBatchServer("127.0.0.1:0", 5, src, BatchConfig{Shards: 2, Batch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	res, err := RunLoad(LoadConfig{
+		Addr:     srv.Addr().String(),
+		Conns:    1,
+		Window:   MaxWindow,
+		Batch:    32,
+		Duration: 100 * time.Millisecond,
+		Timeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("window at the limit: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("window at the limit: %d errors", res.Errors)
+	}
+	if res.Received == 0 {
+		t.Fatal("window at the limit: no replies")
+	}
+
+	if _, err := RunLoad(LoadConfig{Addr: srv.Addr().String(), Window: MaxWindow + 1}); err == nil {
+		t.Fatalf("window %d must be rejected, not clamped", MaxWindow+1)
+	}
+}

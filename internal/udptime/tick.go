@@ -124,6 +124,11 @@ func (tc *TickCache) Stop() {
 }
 
 // refresh takes a fresh reading of the source and publishes it widened.
+// Publication is one atomic pointer swap of an immutable snapshot, so a
+// reply served exactly at a tick boundary observes either the complete
+// old triple or the complete new one — never a mix of the two, and in
+// both cases an error bound no narrower than a fresh read of the source
+// at the instant that snapshot was taken (the widening only adds).
 func (tc *TickCache) refresh() {
 	c, e, synced := tc.src.Now()
 	if e < 0 {

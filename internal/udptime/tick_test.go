@@ -1,8 +1,10 @@
 package udptime
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -77,6 +79,12 @@ func TestTickCacheProperty(t *testing.T) {
 			t.Fatalf("round %d: cached <%v, %v, %v>, want <%v, %v, %v>",
 				round, gotC, gotE, gotSynced, c, wantE, synced)
 		}
+		// Corollary the serving path depends on: the boundary reply is
+		// never narrower than a fresh read — widening only adds, and the
+		// negative-error clamp can only raise the bound further.
+		if _, freshE, _ := src.Now(); gotE < freshE {
+			t.Fatalf("round %d: cached error %v narrower than fresh %v", round, gotE, freshE)
+		}
 
 		// Property 2: the reading is frozen between refreshes — repeated
 		// reads are identical, so E cannot decrease within a tick even as
@@ -88,6 +96,92 @@ func TestTickCacheProperty(t *testing.T) {
 				t.Fatalf("round %d read %d: reading moved within a tick: <%v, %v, %v> -> <%v, %v, %v>",
 					round, i, gotC, gotE, gotSynced, c2, e2, s2)
 			}
+		}
+	}
+}
+
+// TestTickCacheBoundaryConcurrent pins the tick-boundary race: readers
+// hammer Now while refreshes publish new snapshots underneath them. A
+// reply served exactly at a boundary must carry either the old widened
+// reading or the new one, whole — never a torn <C, E, synced> mix of
+// the two, never an E narrower than the fresh source error behind the
+// snapshot, and never a snapshot older than one already observed. The
+// round index rides in C, so every observed triple is checkable against
+// the pre-published table. This test is part of the -race pass.
+func TestTickCacheBoundaryConcurrent(t *testing.T) {
+	const tick = 5 * time.Millisecond
+	const driftPPM = 200.0
+	const rounds = 400
+	widen := tickWiden(tick, driftPPM)
+
+	// Pre-publish every round's reading so readers can verify without
+	// coordinating with the writer.
+	type snap struct {
+		e      time.Duration // widened error the cache must serve
+		fresh  time.Duration // the source's own (un-widened) error
+		synced bool
+	}
+	rng := rand.New(rand.NewPCG(0xb0a2, 0x17))
+	base := time.Unix(0, 1_600_000_000_000_000_000)
+	cs := make([]time.Time, rounds)
+	es := make([]time.Duration, rounds)
+	syncs := make([]bool, rounds)
+	table := make(map[int64]snap, rounds)
+	for i := range cs {
+		cs[i] = base.Add(time.Duration(i) * time.Second)
+		es[i] = time.Duration(rng.Int64N(int64(time.Second)))
+		syncs[i] = rng.IntN(4) != 0
+		table[cs[i].UnixNano()] = snap{e: es[i] + widen, fresh: es[i], synced: syncs[i]}
+	}
+
+	src := &steppedSource{}
+	src.set(cs[0], es[0], syncs[0])
+	tc := newTickCacheStopped(src, tick, driftPPM)
+	defer tc.Stop()
+
+	const readers = 4
+	var stop atomic.Bool
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			last := int64(-1)
+			for !stop.Load() {
+				c, e, synced := tc.Now()
+				want, ok := table[c.UnixNano()]
+				if !ok {
+					errs[r] = fmt.Errorf("reader %d: unknown snapshot clock %v", r, c)
+					return
+				}
+				if e != want.e || synced != want.synced {
+					errs[r] = fmt.Errorf("reader %d: torn snapshot <%v, %v, %v>, want <%v, %v, %v>",
+						r, c, e, synced, c, want.e, want.synced)
+					return
+				}
+				if e < want.fresh {
+					errs[r] = fmt.Errorf("reader %d: error %v narrower than fresh %v", r, e, want.fresh)
+					return
+				}
+				round := int64(c.Sub(base) / time.Second)
+				if round < last {
+					errs[r] = fmt.Errorf("reader %d: snapshot went backward, round %d after %d", r, round, last)
+					return
+				}
+				last = round
+			}
+		}(r)
+	}
+	for i := 1; i < rounds; i++ {
+		src.set(cs[i], es[i], syncs[i])
+		tc.refresh()
+	}
+	stop.Store(true)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }
