@@ -10,7 +10,8 @@ GO ?= go
 RACE_PKGS = ./internal/par ./internal/sim/... ./internal/experiments \
             ./internal/service ./internal/simnet ./internal/interval \
             ./internal/chaos ./internal/udptime ./internal/obs \
-            ./internal/member ./internal/scale ./cmd/...
+            ./internal/member ./internal/scale ./internal/hlc \
+            ./internal/txn ./cmd/...
 
 # Packages whose line coverage is floored by `make cover-check` (and so by
 # `make check`): the theorem algebra, the interval sweep, and the
@@ -21,10 +22,10 @@ RACE_PKGS = ./internal/par ./internal/sim/... ./internal/experiments \
 # rule is an invariant the tree only appears to satisfy.
 COVER_FLOOR_PKGS = ./internal/core ./internal/interval ./internal/member \
                    ./internal/par ./internal/sim/shard ./internal/scale \
-                   ./internal/lint
+                   ./internal/lint ./internal/hlc ./internal/txn
 COVER_FLOOR     ?= 85
 
-.PHONY: all build vet lint noalloc-audit test check test-race cover cover-check chaos chaos-replay byz-smoke obs-smoke churn-smoke scale-smoke udp-smoke fuzz-smoke bench bench-scale bench-udp experiments ablations examples clean
+.PHONY: all build vet lint noalloc-audit test check test-race cover cover-check chaos chaos-replay byz-smoke obs-smoke churn-smoke txn-smoke scale-smoke udp-smoke fuzz-smoke bench bench-scale bench-udp experiments ablations examples clean
 
 all: build vet lint test
 
@@ -63,7 +64,7 @@ test:
 # observability/membership determinism smokes, the committed chaos
 # corpus replays, and the sharded-kernel scale smoke travel together
 # (race rides inside `test` via RACE_PKGS).
-check: vet lint noalloc-audit test cover-check obs-smoke churn-smoke chaos-replay byz-smoke scale-smoke udp-smoke
+check: vet lint noalloc-audit test cover-check obs-smoke churn-smoke txn-smoke chaos-replay byz-smoke scale-smoke udp-smoke
 
 test-race:
 	$(GO) test -race $(RACE_PKGS)
@@ -145,6 +146,16 @@ churn-smoke:
 	$(GO) run ./cmd/timesim -churn 2 -churn-seed 7 > $$tmp/c2.txt && \
 	cmp $$tmp/c1.txt $$tmp/c2.txt && \
 	rm -rf $$tmp && echo "churn-smoke: seeded membership timelines byte-identical"
+
+# Transaction smoke: two seeded `timesim -txn` runs diffed
+# byte-for-byte — the commit-wait timeline (HLC stamps, wait lengths,
+# the external-consistency verdict) is a pure function of the seed.
+txn-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/timesim -txn -txn-seed 7 > $$tmp/t1.txt && \
+	$(GO) run ./cmd/timesim -txn -txn-seed 7 > $$tmp/t2.txt && \
+	cmp $$tmp/t1.txt $$tmp/t2.txt && \
+	rm -rf $$tmp && echo "txn-smoke: seeded commit timelines byte-identical"
 
 # Short coverage-guided fuzz pass over the M-of-N interval sweep (vs the
 # naive oracle). CI-sized; run with a larger -fuzztime when hunting.

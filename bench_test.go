@@ -20,6 +20,7 @@ import (
 
 	"disttime"
 	"disttime/internal/experiments"
+	"disttime/internal/hlc"
 	"disttime/internal/sim"
 	"disttime/internal/sim/shard"
 	"disttime/internal/udptime"
@@ -331,6 +332,82 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err = wire.ParseResponse(respBuf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHLCClock measures one Now plus one Update on a hybrid
+// logical clock — the per-event stamping cost on the message paths of
+// both substrates. 0 allocs/op; the hlc clock's //lint:noalloc
+// annotations are audited against this benchmark.
+func BenchmarkHLCClock(b *testing.B) {
+	local := hlc.New(1)
+	remote := hlc.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wall := int64(1_700_000_000_000_000_000 + i)
+		ts := remote.Now(wall)
+		local.Update(wall, ts)
+	}
+}
+
+// BenchmarkHLCCodec measures one timestamp encode+decode round trip
+// against a reused buffer — the piggyback cost per wire message.
+// 0 allocs/op; the hlc codec's //lint:noalloc annotations are audited
+// against this benchmark.
+func BenchmarkHLCCodec(b *testing.B) {
+	var buf [hlc.TimestampSize]byte
+	ts := hlc.Timestamp{Wall: 1_700_000_000_000_000_000, Logical: 3, Node: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Wall++
+		hlc.PutTimestamp(buf[:], ts)
+		got, err := hlc.ParseTimestamp(buf[:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != ts {
+			b.Fatal("round trip changed the timestamp")
+		}
+	}
+}
+
+// BenchmarkWireRoundTripHLC measures one version-3 request/response
+// encode+decode round trip — the per-query serialization cost with the
+// HLC piggyback. 0 allocs/op; the v3 codec's //lint:noalloc
+// annotations are audited against this benchmark.
+func BenchmarkWireRoundTripHLC(b *testing.B) {
+	reqBuf := make([]byte, 0, wire.RequestHLCSize)
+	respBuf := make([]byte, 0, wire.ResponseHLCSize)
+	resp := wire.ResponseHLC{
+		Response: wire.Response{
+			ReqID:    7,
+			ServerID: 3,
+			Clock:    time.Unix(0, 1_700_000_000_000_000_000),
+			MaxError: 250 * time.Microsecond,
+		},
+		TS: hlc.Timestamp{Wall: 1_700_000_000_000_000_000, Logical: 1, Node: 3},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqBuf = wire.AppendRequestHLC(reqBuf[:0], wire.RequestHLC{
+			ReqID: uint64(i),
+			TS:    hlc.Timestamp{Wall: int64(i), Node: 1},
+		})
+		req, err := wire.ParseRequestHLC(reqBuf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.ReqID = req.ReqID
+		respBuf, err = wire.AppendResponseHLC(respBuf[:0], resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err = wire.ParseResponseHLC(respBuf); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,6 +13,7 @@
 //	timesim -chaos -campaigns 60 -chaos-seed 1
 //	timesim -chaos -adversarial -campaigns 50   # hill-climb Byzantine schedules
 //	timesim -chaos -replay internal/chaos/corpus/buggy-mm-churn.repro
+//	timesim -txn -txn-seed 7 -txn-n 4  # commit-wait transaction timeline demo
 //	timesim -churn 2 -churn-seed 7     # dynamic-membership timeline demo
 //	timesim -metrics out.json -trace-out spans.jsonl   # instrumented demo run
 //	timesim -chaos -campaigns 60 -metrics chaos.json   # observed campaigns
@@ -60,6 +61,11 @@ func run(args []string, out io.Writer) error {
 		noShrink  = fs.Bool("no-shrink", false, "report failing chaos campaigns without minimizing them")
 		advSearch = fs.Bool("adversarial", false, "hill-climb Byzantine fault schedules toward an invariant violation instead of sampling (with -chaos)")
 		advSteps  = fs.Int("adv-steps", 20, "mutation steps per adversarial search (with -chaos -adversarial)")
+		doTxn     = fs.Bool("txn", false, "run the commit-wait transaction demo: HLC-stamped transactions with external-consistency checking; prints the deterministic commit timeline")
+		txnSeed   = fs.Uint64("txn-seed", 1, "seed of the txn demo (with -txn); equal seeds give byte-identical timelines")
+		txnN      = fs.Int("txn-n", 4, "cluster size of the txn demo (with -txn); one client per server")
+		txnRate   = fs.Float64("txn-rate", 1, "per-client transaction rate in transactions per virtual second (with -txn)")
+		txnDur    = fs.Float64("txn-dur", 120, "virtual duration in seconds of the txn demo (with -txn)")
 		churnRate = fs.Float64("churn", 0, "run the dynamic-membership demo: voluntary leave/rejoin cycles per 100 simulated seconds; prints the deterministic membership timeline")
 		churnSeed = fs.Uint64("churn-seed", 1, "seed of the churn demo (with -churn); equal seeds give byte-identical timelines")
 		churnN    = fs.Int("churn-n", 5, "cluster size of the churn demo (with -churn)")
@@ -101,6 +107,14 @@ func run(args []string, out io.Writer) error {
 			metrics:     *metrics,
 			adversarial: *advSearch,
 			advSteps:    *advSteps,
+		}, out)
+	case *doTxn:
+		return runTxn(txnOpts{
+			seed:    *txnSeed,
+			n:       *txnN,
+			rate:    *txnRate,
+			dur:     *txnDur,
+			metrics: *metrics,
 		}, out)
 	case *churnRate > 0:
 		return runChurn(churnOpts{

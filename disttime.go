@@ -5,6 +5,7 @@ import (
 
 	"disttime/internal/clock"
 	"disttime/internal/core"
+	"disttime/internal/hlc"
 	"disttime/internal/interval"
 	"disttime/internal/member"
 	"disttime/internal/ntp"
@@ -12,6 +13,7 @@ import (
 	"disttime/internal/service"
 	"disttime/internal/simnet"
 	"disttime/internal/trace"
+	"disttime/internal/txn"
 	"disttime/internal/udptime"
 )
 
@@ -298,6 +300,59 @@ const (
 	MemberLeft    = member.Left
 	MemberEvicted = member.Evicted
 )
+
+// Hybrid logical clocks and causal ordering (internal/hlc): timestamps
+// whose physical component is drawn from a server's latest bound C + E,
+// with a logical counter breaking ties so happens-before always implies
+// a strictly larger timestamp. Both substrates piggyback them on their
+// wire traffic; DisciplinedClock.WaitUntilAfter provides the matching
+// TrueTime-style commit-wait on the real UDP path.
+type (
+	// HLCTimestamp is a hybrid logical clock timestamp: wall nanoseconds,
+	// a logical tiebreak counter, and the issuing node.
+	HLCTimestamp = hlc.Timestamp
+	// HLCClock is one node's hybrid logical clock.
+	HLCClock = hlc.Clock
+)
+
+// HLCTimestampSize is the encoded size of an HLCTimestamp in bytes.
+const HLCTimestampSize = hlc.TimestampSize
+
+// Hybrid logical clock constructors and codec.
+var (
+	// NewHLC returns a zeroed hybrid logical clock for a node.
+	NewHLC = hlc.New
+	// AppendHLCTimestamp appends the 16-byte encoding of a timestamp.
+	AppendHLCTimestamp = hlc.AppendTimestamp
+	// ParseHLCTimestamp decodes a timestamp encoded by
+	// AppendHLCTimestamp.
+	ParseHLCTimestamp = hlc.ParseTimestamp
+)
+
+// Commit-wait transaction workload (internal/txn) for Simulations:
+// clients stamp transactions with HLC timestamps and commit after a
+// commit-wait, and the workload checks external consistency online.
+type (
+	// TxnConfig configures a transaction workload.
+	TxnConfig = txn.Config
+	// TxnWorkload is an attached transaction workload.
+	TxnWorkload = txn.Workload
+	// Txn is one committed transaction.
+	Txn = txn.Txn
+	// TxnViolation is one observed external-consistency breach.
+	TxnViolation = txn.Violation
+	// CommitWaiter decides when a stamped transaction may commit.
+	CommitWaiter = txn.Waiter
+	// CommitWait is the correct policy: wait until C - E passes the
+	// stamp.
+	CommitWait = txn.CommitWait
+	// BuggyCommitWait is the planted bug that skips the wait (the chaos
+	// harness proves the external-consistency checker catches it).
+	BuggyCommitWait = txn.BuggyCommitWait
+)
+
+// AttachTxns schedules a transaction workload on a Simulation.
+var AttachTxns = txn.Attach
 
 // Simulation tracing (internal/trace).
 type (

@@ -12,8 +12,16 @@
 //     replies (rules IM-1/IM-2),
 //   - between passes the error grows by at most delta per clock second
 //     (rule MM-1's deterioration bound),
-//   - the monotonic-clock wrapper never steps backward, and
-//   - the correct servers' intervals always share a common point.
+//   - the monotonic-clock wrapper never steps backward,
+//   - the correct servers' intervals always share a common point,
+//   - while no clock fault has begun, every server's hybrid logical
+//     clock keeps its logical counter under a small ceiling (walls
+//     advance between events, so causality rarely needs the tiebreak),
+//     and
+//   - with the transaction workload enabled (Txn), commits are
+//     externally consistent: a transaction that completes before
+//     another starts carries the strictly smaller timestamp, asserted
+//     while both involved servers are untainted.
 //
 // Every campaign is a pure function of a seed plus a fault schedule, so a
 // failing campaign is a replayable artifact: Shrink minimizes it (drop
@@ -166,6 +174,13 @@ type Campaign struct {
 	// Phi selects the phi-accrual failure detector instead of the
 	// drift-widened deadline detector for membership (requires Mem).
 	Phi bool
+	// Txn enables the commit-wait transaction workload (internal/txn):
+	// one client per server stamps transactions with hybrid logical clock
+	// timestamps and commits after a TrueTime-style commit-wait, while
+	// the monitor checks external consistency online — a transaction that
+	// completes before another starts must carry the smaller timestamp,
+	// asserted only while both involved servers' clocks are untainted.
+	Txn bool
 	// Faults is the schedule, ordered by At.
 	Faults []Fault
 }

@@ -6,6 +6,7 @@ import (
 	"disttime/internal/core"
 	"disttime/internal/interval"
 	"disttime/internal/obs"
+	"disttime/internal/txn"
 )
 
 // Verdict is the outcome of one campaign.
@@ -38,7 +39,7 @@ func (v Verdict) First() (Violation, bool) {
 
 // Run executes the campaign with the always-on invariant monitor and
 // returns the verdict. Equal campaigns always return equal verdicts.
-func Run(c Campaign) (Verdict, error) { return run(c, nil, nil) }
+func Run(c Campaign) (Verdict, error) { return run(c, nil, nil, nil) }
 
 // RunObserved executes the campaign like Run while feeding the
 // observability registry: per-campaign invariant-check and
@@ -46,15 +47,32 @@ func Run(c Campaign) (Verdict, error) { return run(c, nil, nil) }
 // metrics of an observed run. Observation is passive — RunObserved
 // returns exactly the verdict (including the Steps determinism
 // fingerprint) that Run would.
-func RunObserved(c Campaign, reg *obs.Registry) (Verdict, error) { return run(c, nil, reg) }
+func RunObserved(c Campaign, reg *obs.Registry) (Verdict, error) { return run(c, nil, nil, reg) }
 
 // RunInjected executes the campaign with fn replacing the campaign's
 // synchronization function on every server. It exists so the harness can
 // test itself: injecting a deliberately broken rule (see BuggyMM) must
 // produce violations, or the monitor is asleep.
-func RunInjected(c Campaign, fn core.SyncFunc) (Verdict, error) { return run(c, fn, nil) }
+func RunInjected(c Campaign, fn core.SyncFunc) (Verdict, error) { return run(c, fn, nil, nil) }
 
-func run(c Campaign, override core.SyncFunc, reg *obs.Registry) (Verdict, error) {
+// RunInjectedWaiter executes the campaign with the transaction workload
+// enabled and waiter replacing its commit policy. It is the workload's
+// counterpart to RunInjected: injecting txn.BuggyCommitWait must
+// produce txn-external-consistency violations, or the checker is
+// asleep. The campaign runs with Txn forced on so the injected policy
+// has transactions to decide.
+func RunInjectedWaiter(c Campaign, waiter txn.Waiter) (Verdict, error) {
+	c.Txn = true
+	return run(c, nil, waiter, nil)
+}
+
+// txnRate is the per-client transaction rate (transactions per virtual
+// second) for campaign workloads: slow enough that the workload's
+// events stay a small fraction of the protocol's, fast enough that
+// every campaign commits hundreds of transactions.
+const txnRate = 0.5
+
+func run(c Campaign, override core.SyncFunc, waiter txn.Waiter, reg *obs.Registry) (Verdict, error) {
 	if err := c.Validate(); err != nil {
 		return Verdict{}, err
 	}
@@ -71,6 +89,24 @@ func run(c Campaign, override core.SyncFunc, reg *obs.Registry) (Verdict, error)
 	eng := &engine{svc: svc, sink: sink}
 	if err := eng.install(c); err != nil {
 		return Verdict{}, err
+	}
+	if c.Txn {
+		// One client per server; violations land in the verdict under the
+		// txn-external-consistency invariant, gated on the monitor's taint
+		// state so faulted clocks (whose containment the theorems no
+		// longer promise) cannot raise false alarms.
+		_, err := txn.Attach(svc, txn.Config{
+			Clients: c.N,
+			Rate:    txnRate,
+			Waiter:  waiter,
+			Trusted: m.Trusted,
+			OnViolation: func(v txn.Violation) {
+				m.report(v.T, v.Client, "txn-external-consistency", v.Detail)
+			},
+		})
+		if err != nil {
+			return Verdict{}, err
+		}
 	}
 	svc.Run(c.Dur)
 	v := Verdict{

@@ -30,10 +30,11 @@ import (
 // where a partition group <g> is '.'-joined server indices and a
 // twoface/equiv offset list is ','-joined per-destination skews (one per
 // server, the liar's own slot zero). An empty schedule is written as
-// `faults=-`. The optional `mem=1` field enables dynamic membership and
+// `faults=-`. The optional `mem=1` field enables dynamic membership,
 // the optional `phi=1` field (requires mem=1) selects the phi-accrual
-// failure detector; both are omitted when unset, so older reproducer
-// lines parse (and re-encode) unchanged.
+// failure detector, and the optional `txn=1` field enables the
+// commit-wait transaction workload; all are omitted when unset, so
+// older reproducer lines parse (and re-encode) unchanged.
 
 // fmtF renders a float with the shortest decimal that round-trips.
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -48,6 +49,9 @@ func (c Campaign) String() string {
 	}
 	if c.Phi {
 		b.WriteString(" phi=1")
+	}
+	if c.Txn {
+		b.WriteString(" txn=1")
 	}
 	fmt.Fprintf(&b, " dur=%s sync=%s faults=", fmtF(c.Dur), fmtF(c.Sync))
 	if len(c.Faults) == 0 {
@@ -142,6 +146,11 @@ func Parse(line string) (Campaign, error) {
 			}
 		case "phi":
 			c.Phi = val == "1"
+			if val != "0" && val != "1" {
+				err = fmt.Errorf("want 0 or 1, got %q", val)
+			}
+		case "txn":
+			c.Txn = val == "1"
 			if val != "0" && val != "1" {
 				err = fmt.Errorf("want 0 or 1, got %q", val)
 			}

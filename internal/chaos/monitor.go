@@ -16,8 +16,8 @@ type Violation struct {
 	// Node is the offending server, or -1 for service-wide invariants.
 	Node int
 	// Invariant names the broken property: containment, byz-containment,
-	// mm-monotonic, error-growth, im-decide, monotonic-clock, or
-	// consistency.
+	// mm-monotonic, error-growth, im-decide, monotonic-clock,
+	// consistency, hlc-bound, or txn-external-consistency.
 	Invariant string
 	// Detail is a human-readable account of the observation.
 	Detail string
@@ -72,6 +72,14 @@ type Monitor struct {
 	// adversarial search's gradient toward one.
 	minSlack float64
 
+	// hlcArmedUntil is the earliest clock-fault (or, outside the byz
+	// regime, two-faced) onset anywhere in the service; the hlc-bound
+	// invariant is asserted only before it. One corrupted wall propagates
+	// to every honest server through Update, and a wall running ahead of
+	// physical time pins the logical counter into tiebreak territory — so
+	// the boundedness claim is service-wide or nothing.
+	hlcArmedUntil float64
+
 	last       []passState
 	mono       []*clock.Monotonic
 	lastMono   []float64
@@ -90,6 +98,13 @@ func (m *Monitor) check() bool {
 	m.sink.invariantChecks.Inc()
 	return true
 }
+
+// hlcCeiling bounds the logical counter while the hlc-bound invariant
+// is armed. Generated campaigns run at most 8 servers, so even a full
+// collect window of same-wall deliveries stays far below it; reaching
+// the ceiling means walls stopped advancing between events without any
+// injected clock fault.
+const hlcCeiling = 64
 
 // passState is the per-server after-image of the last synchronization
 // pass, for the inter-pass error-growth bound.
@@ -157,6 +172,12 @@ func newMonitor(svc *service.Service, c Campaign, sink *obsSink) *Monitor {
 			}
 		}
 	}
+	m.hlcArmedUntil = math.Inf(1)
+	for _, at := range m.clockFaultAt {
+		if at < m.hlcArmedUntil {
+			m.hlcArmedUntil = at
+		}
+	}
 	for i, node := range svc.Nodes {
 		m.mono[i] = clock.NewMonotonic(node.Server.Clock(), 0.5)
 	}
@@ -172,6 +193,18 @@ func (m *Monitor) Violations() []Violation { return m.violations }
 // MinSlack returns the tightest containment margin asserted so far (+Inf
 // when no containment check has run yet).
 func (m *Monitor) MinSlack() float64 { return m.minSlack }
+
+// Trusted reports whether server node's interval can currently be
+// trusted to contain true time: its clock is unfaulted and it has not
+// adopted state from a corrupted server. The transaction workload's
+// external-consistency check gates on it — commit-wait's ordering
+// argument (package txn) rests on containment of both involved
+// servers, which the theorems only promise while a server is
+// untainted.
+func (m *Monitor) Trusted(node int) bool {
+	m.refreshTaint(m.svc.Sim.Now())
+	return !m.tainted[node]
+}
 
 // containmentName is the invariant label for containment checks:
 // "byz-containment" in the f < n/3 regime (where the claim is strictly
@@ -290,6 +323,20 @@ func (m *Monitor) probe() {
 				fmt.Sprintf("monotonic view stepped back %.9g -> %.9g", m.lastMono[i], v))
 		}
 		m.lastMono[i], m.haveMono[i] = v, true
+		// HLC boundedness (Kulkarni et al.): while every clock in the
+		// service is fault-free, walls — drawn from each server's latest
+		// bound C+E — advance between events, so the logical counter stays
+		// under a small ceiling. Disarmed service-wide at the first onset:
+		// one inflated wall (a racing clock, a falseticker jump, a lie
+		// adopted into C+E) propagates through Update and legitimately
+		// pins every honest counter.
+		if t < m.hlcArmedUntil {
+			if l := node.HLCLast(); m.check() && l.Logical > hlcCeiling {
+				m.report(t, i, "hlc-bound",
+					fmt.Sprintf("logical counter %d exceeds ceiling %d (wall %d)",
+						l.Logical, hlcCeiling, l.Wall))
+			}
+		}
 		if m.tainted[i] {
 			continue
 		}

@@ -159,6 +159,10 @@ func DefaultConfig() *Config {
 			// iteration feeding event order or fingerprints is a bug.
 			"disttime/internal/sim/shard",
 			"disttime/internal/scale",
+			// Hybrid logical clocks and the commit-wait workload feed
+			// deterministic timelines (txn-smoke diffs them byte-for-byte).
+			"disttime/internal/hlc",
+			"disttime/internal/txn",
 			"disttime/cmd",
 			// Fixtures exercising the analyzer itself.
 			"disttime/internal/lint/testdata",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"disttime/internal/hlc"
 	"disttime/internal/member"
 	"disttime/internal/simnet"
 )
@@ -109,6 +110,7 @@ func (e MemberEvent) String() string {
 // handler, so steady-state gossip does not allocate per message.
 type gossipMsg struct {
 	entries []member.Entry[int]
+	ts      hlc.Timestamp // sender's hybrid logical clock at send
 }
 
 // newGossip draws a gossip payload from the service pool.
@@ -291,6 +293,7 @@ func (n *Node) pushDigest() {
 		}
 		g := svc.newGossip()
 		g.entries = n.roster.Digest(g.entries, mc.DigestMax)
+		g.ts = n.HLCNow(svc.Sim.Now())
 		n.equivocateEntry(g.entries, id)
 		sent := len(g.entries)
 		if !svc.Net.Send(n.NetID, svc.Nodes[id].NetID, g) {

@@ -15,6 +15,7 @@ import (
 
 	"disttime/internal/clock"
 	"disttime/internal/core"
+	"disttime/internal/hlc"
 	"disttime/internal/interval"
 	"disttime/internal/member"
 	"disttime/internal/sim"
@@ -133,6 +134,7 @@ type Node struct {
 
 	svc            *Service
 	fn             core.SyncFunc
+	hclock         *hlc.Clock
 	reqSeq         uint64
 	crashed        bool
 	crashSeq       uint64 // rounds started at or before this id died with a crash
@@ -203,6 +205,7 @@ type Service struct {
 
 type timeRequest struct {
 	id uint64
+	ts hlc.Timestamp // sender's hybrid logical clock at send
 }
 
 // timeReply payloads travel as pooled pointers: each Send carries a unique
@@ -212,22 +215,24 @@ type timeRequest struct {
 type timeReply struct {
 	id      uint64
 	reading core.Reading
+	ts      hlc.Timestamp // responder's hybrid logical clock at reply
 }
 
 // newReply draws a reply payload from the service pool.
 //
 //lint:noalloc
-func (svc *Service) newReply(id uint64, reading core.Reading) *timeReply {
+func (svc *Service) newReply(id uint64, reading core.Reading, ts hlc.Timestamp) *timeReply {
 	if k := len(svc.replyFree); k > 0 {
 		p := svc.replyFree[k-1]
 		svc.replyFree[k-1] = nil
 		svc.replyFree = svc.replyFree[:k-1]
 		p.id = id
 		p.reading = reading
+		p.ts = ts
 		return p
 	}
 	//lint:ignore noalloc pool-miss path: runs once per free-list high-water mark, then recycles forever
-	return &timeReply{id: id, reading: reading}
+	return &timeReply{id: id, reading: reading, ts: ts}
 }
 
 // putReply recycles a delivered reply payload. Payloads lost in transit are
@@ -295,6 +300,7 @@ func New(cfg Config) (*Service, error) {
 			Rates:          core.NewRateTracker(),
 			svc:            svc,
 			fn:             fn,
+			hclock:         hlc.New(uint32(i)),
 			neighborDeltas: make(map[int]float64),
 		}
 		node.NetID = net.AddNode(node.handle)
@@ -364,6 +370,22 @@ func (svc *Service) Link(i, j int) error {
 // Run advances the simulation to the given virtual time.
 func (svc *Service) Run(until float64) { svc.Sim.RunUntil(until) }
 
+// hlcWall returns the node's HLC physical component at virtual time t:
+// the reading's latest bound C+E in nanoseconds, so a stamp taken at
+// true time t is at least t while the clock is contained.
+func (n *Node) hlcWall(t float64) int64 {
+	r := n.Server.Reading(t)
+	return hlc.WallFromSeconds(r.C + r.E)
+}
+
+// HLCNow issues the node's timestamp for a local event at virtual time
+// t — the transaction workload's stamp.
+func (n *Node) HLCNow(t float64) hlc.Timestamp { return n.hclock.Now(n.hlcWall(t)) }
+
+// HLCLast returns the node's hybrid logical clock state without
+// advancing it (the chaos monitor's probe).
+func (n *Node) HLCLast() hlc.Timestamp { return n.hclock.Last() }
+
 // handle is a node's network message handler.
 func (n *Node) handle(m simnet.Message) {
 	if n.crashed {
@@ -379,15 +401,19 @@ func (n *Node) handle(m simnet.Message) {
 		// Rule MM-1: answer with the current reading. A two-faced server
 		// answers each peer from an independently skewed clock register —
 		// its own bookkeeping stays honest, only the reply lies, and it
-		// lies differently per destination.
+		// lies differently per destination. The HLC piggyback comes from
+		// the node's real clock state either way: the adversary tier lies
+		// about readings, not about causality.
+		ts := n.hclock.Update(n.hlcWall(now), p.ts)
 		reading := n.Server.Reading(now)
 		if n.twoFaced != nil {
 			if j := int(m.From); j >= 0 && j < len(n.twoFaced) {
 				reading.C += n.twoFaced[j]
 			}
 		}
-		n.svc.Net.Send(n.NetID, m.From, n.svc.newReply(p.id, reading))
+		n.svc.Net.Send(n.NetID, m.From, n.svc.newReply(p.id, reading, ts))
 	case *timeReply:
+		n.hclock.Update(n.hlcWall(now), p.ts)
 		id, reading := p.id, p.reading
 		n.svc.putReply(p)
 		if n.collect == nil || n.collect.id != id {
@@ -411,6 +437,7 @@ func (n *Node) handle(m simnet.Message) {
 		})
 		n.neighborDeltas[int(m.From)] = reading.Delta
 	case *gossipMsg:
+		n.hclock.Update(n.hlcWall(now), p.ts)
 		if n.roster == nil {
 			return
 		}
@@ -439,11 +466,11 @@ func (n *Node) startRound() {
 	col.sentLocal = n.Server.Read(now)
 	n.collect = col
 	sent := 0
+	req := timeRequest{id: n.reqSeq, ts: n.HLCNow(now)}
 	if n.roster != nil && !n.svc.memberCfg.Broadcast {
 		// Roster-driven polling: the K live members with the smallest
 		// advertised error, plus the exploration slot. Requests to
 		// unreachable members are dropped by the network.
-		req := timeRequest{id: n.reqSeq}
 		for _, id := range n.pollTargets() {
 			if id < 0 || id >= len(n.svc.Nodes) {
 				continue
@@ -453,7 +480,7 @@ func (n *Node) startRound() {
 			}
 		}
 	} else {
-		sent = n.svc.Net.Broadcast(n.NetID, timeRequest{id: n.reqSeq})
+		sent = n.svc.Net.Broadcast(n.NetID, req)
 	}
 	if sent == 0 {
 		n.collect = nil

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"disttime/internal/hlc"
 	"disttime/internal/interval"
 	"disttime/internal/ntp"
 	"disttime/internal/obs"
@@ -50,6 +51,10 @@ type Measurement struct {
 	// Unsynchronized marks a reading from a server that cannot bound its
 	// error.
 	Unsynchronized bool
+	// TS is the server's hybrid logical clock timestamp, piggybacked on
+	// version-3 exchanges; zero on version-1 queries (client without
+	// WithHLC).
+	TS hlc.Timestamp
 }
 
 // OffsetInterval returns the interval, in seconds, known to contain the
@@ -90,6 +95,7 @@ type Client struct {
 	opts       SyncOptions
 	metrics    clientMetrics
 	rng        *rand.Rand
+	hclock     *hlc.Clock
 }
 
 // ClientOption configures a Client.
@@ -107,6 +113,21 @@ func (c clientSyncOptions) applyClient(cl *Client) {
 // WithSyncOptions sets the IM-2 transform parameters (notably the local
 // drift bound Delta) applied to every measurement the client takes.
 func WithSyncOptions(o SyncOptions) ClientOption { return clientSyncOptions{o: o} }
+
+type clientHLCOption struct{ c *hlc.Clock }
+
+func (o clientHLCOption) applyClient(cl *Client) {
+	//lint:ignore guardedby options are applied inside NewClient before the client is published, so no other goroutine can observe the write
+	cl.hclock = o.c
+}
+
+// WithHLC attaches a hybrid logical clock: every query switches to the
+// version-3 exchange, piggybacking the client's timestamp on the request
+// and folding the server's reply timestamp back in via Update, so each
+// RPC is a happens-before edge. Servers predating VersionHLC reject the
+// request (the client's query then times out), so enable it only against
+// a v3 fleet.
+func WithHLC(c *hlc.Clock) ClientOption { return clientHLCOption{c: c} }
 
 type clientObsOption struct{ reg *obs.Registry }
 
@@ -176,14 +197,25 @@ func (c *Client) resolveMetrics(reg *obs.Registry) {
 }
 
 // config returns a consistent snapshot of the client's configuration.
-func (c *Client) config() (time.Duration, ClockSource, SyncOptions, clientMetrics) {
+func (c *Client) config() (time.Duration, ClockSource, SyncOptions, clientMetrics, *hlc.Clock) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d := c.timeoutDur
 	if d <= 0 {
 		d = time.Second
 	}
-	return d, c.local, c.opts, c.metrics
+	return d, c.local, c.opts, c.metrics, c.hclock
+}
+
+// hlcWall returns the HLC physical component for a send or receive on
+// src's timeline: the reading's latest bound C+E in nanoseconds (the
+// system clock with no bound when src is nil).
+func hlcWall(src ClockSource) int64 {
+	if src != nil {
+		now, maxErr, _ := src.Now()
+		return now.Add(maxErr).UnixNano()
+	}
+	return time.Now().UnixNano()
 }
 
 // newReqIDRNG seeds the request-ID generator from the OS entropy source,
@@ -244,10 +276,12 @@ func (c *Client) nextReqID() uint64 {
 }
 
 // Query sends one time request to addr and returns the measurement.
+// With WithHLC the exchange is version 3: the request carries the
+// client's timestamp, the response's timestamp is folded back in.
 func (c *Client) Query(addr string) (Measurement, error) {
-	timeout, local, opts, mtr := c.config()
+	timeout, local, opts, mtr, hclock := c.config()
 	mtr.queries.Inc()
-	m, err := c.query(addr, timeout, local, opts, mtr)
+	m, err := c.query(addr, timeout, local, opts, mtr, hclock)
 	if err != nil {
 		mtr.errors.Inc()
 		var nerr net.Error
@@ -260,7 +294,7 @@ func (c *Client) Query(addr string) (Measurement, error) {
 	return m, nil
 }
 
-func (c *Client) query(addr string, timeout time.Duration, local ClockSource, opts SyncOptions, mtr clientMetrics) (Measurement, error) {
+func (c *Client) query(addr string, timeout time.Duration, local ClockSource, opts SyncOptions, mtr clientMetrics, hclock *hlc.Clock) (Measurement, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("udptime: resolve %q: %w", addr, err)
@@ -272,7 +306,15 @@ func (c *Client) query(addr string, timeout time.Duration, local ClockSource, op
 	defer conn.Close()
 
 	reqID := c.nextReqID()
-	out := wire.AppendRequest(make([]byte, 0, wire.RequestSize), wire.Request{ReqID: reqID})
+	var out []byte
+	if hclock != nil {
+		out = wire.AppendRequestHLC(make([]byte, 0, wire.RequestHLCSize), wire.RequestHLC{
+			ReqID: reqID,
+			TS:    hclock.Now(hlcWall(local)),
+		})
+	} else {
+		out = wire.AppendRequest(make([]byte, 0, wire.RequestSize), wire.Request{ReqID: reqID})
+	}
 
 	deadline := time.Now().Add(timeout)
 	if err := conn.SetDeadline(deadline); err != nil {
@@ -293,10 +335,23 @@ func (c *Client) query(addr string, timeout time.Duration, local ClockSource, op
 		if err != nil {
 			return Measurement{}, fmt.Errorf("udptime: read from %q: %w", addr, err)
 		}
-		resp, err := wire.ParseResponse(buf[:n])
-		if err != nil || resp.ReqID != reqID {
-			mtr.strays.Inc() // stray, short, or malformed datagram
-			continue         // keep waiting for ours
+		var resp wire.Response
+		var ts hlc.Timestamp
+		if hclock != nil {
+			r, err := wire.ParseResponseHLC(buf[:n])
+			if err != nil || r.ReqID != reqID {
+				mtr.strays.Inc() // stray, short, or malformed datagram
+				continue         // keep waiting for ours
+			}
+			resp, ts = r.Response, r.TS
+			hclock.Update(hlcWall(local), ts)
+		} else {
+			r, err := wire.ParseResponse(buf[:n])
+			if err != nil || r.ReqID != reqID {
+				mtr.strays.Inc() // stray, short, or malformed datagram
+				continue         // keep waiting for ours
+			}
+			resp = r
 		}
 		rtt := time.Since(sentMono)
 		return Measurement{
@@ -308,6 +363,7 @@ func (c *Client) query(addr string, timeout time.Duration, local ClockSource, op
 			LocalRecv:      sentLocal.Add(rtt),
 			Delta:          opts.Delta,
 			Unsynchronized: resp.Unsynchronized,
+			TS:             ts,
 		}, nil
 	}
 }

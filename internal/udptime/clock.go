@@ -12,6 +12,7 @@ package udptime
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -128,6 +129,34 @@ func (c *DisciplinedClock) Adjust(offset time.Duration, maxErr time.Duration) er
 	c.synced = true
 	c.setsCount++
 	return nil
+}
+
+// WaitUntilAfter blocks until the clock's earliest possible reading
+// C − E is strictly after t: the commit-wait primitive. While the clock
+// is contained (true time inside [C−E, C+E]), returning implies true
+// time has passed t — the fact the external-consistency argument of
+// DESIGN.md §18 rests on.
+//
+// The wait computes how far C − E must still travel and sleeps that
+// distance charged by the drift bound, (1 + driftPPM·1e-6) — the same
+// staleness charge TickCache applies per tick — then re-checks, because
+// a concurrent Set or Adjust may have moved C backward or widened E.
+// An unsynchronized clock cannot bound C − E, so waiting on one fails
+// immediately rather than committing on an advisory reading.
+func (c *DisciplinedClock) WaitUntilAfter(t time.Time) error {
+	for {
+		now, maxErr, synced := c.Now()
+		if !synced {
+			return fmt.Errorf("udptime: commit-wait on unsynchronized clock")
+		}
+		earliest := now.Add(-maxErr)
+		if earliest.After(t) {
+			return nil
+		}
+		need := t.Sub(earliest) + time.Nanosecond
+		sleep := time.Duration(math.Ceil(float64(need) * (1 + c.DriftPPM()/1e6)))
+		time.Sleep(sleep)
+	}
 }
 
 // DriftPPM returns the drift bound the clock's oscillator is trusted

@@ -323,7 +323,7 @@ func TestSyncerMetrics(t *testing.T) {
 	}
 	// The syncer defaulted the IM-2 delta from the clock's drift bound.
 	want := 250.0 / 1e6
-	_, _, opts, _ := s.client.config()
+	_, _, opts, _, _ := s.client.config()
 	if opts.Delta != want {
 		t.Errorf("client delta = %v, want %v (clock DriftPPM/1e6)", opts.Delta, want)
 	}

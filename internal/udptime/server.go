@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"disttime/internal/hlc"
 	"disttime/internal/obs"
 	"disttime/internal/wire"
 )
@@ -31,6 +32,11 @@ type Server struct {
 	conn   *net.UDPConn
 	done   chan struct{}
 	logger *log.Logger
+
+	// hlc is the server's hybrid logical clock, always on: every
+	// version-3 exchange folds the client's timestamp in and stamps the
+	// reply, so RPCs double as hlc.Update edges.
+	hlc *hlc.Clock
 
 	requests atomic.Uint64
 	errsSeen atomic.Uint64
@@ -92,7 +98,7 @@ func NewServer(addr string, id uint64, src ClockSource, opts ...ServerOption) (*
 	if err != nil {
 		return nil, fmt.Errorf("udptime: listen %q: %w", addr, err)
 	}
-	s := &Server{id: id, src: src, conn: conn, done: make(chan struct{})}
+	s := &Server{id: id, src: src, conn: conn, done: make(chan struct{}), hlc: hlc.New(uint32(id))}
 	for _, o := range opts {
 		o.applyServer(s)
 	}
@@ -113,6 +119,9 @@ func (s *Server) Addr() *net.UDPAddr {
 // Requests returns how many well-formed requests the server has answered.
 func (s *Server) Requests() uint64 { return s.requests.Load() }
 
+// HLC returns the server's hybrid logical clock.
+func (s *Server) HLC() *hlc.Clock { return s.hlc }
+
 // MalformedDatagrams returns how many datagrams failed to parse.
 func (s *Server) MalformedDatagrams() uint64 { return s.errsSeen.Load() }
 
@@ -130,7 +139,7 @@ func (s *Server) serve() {
 	bufp := dgramPool.Get().(*[maxDatagram]byte)
 	buf := bufp[:]
 	defer dgramPool.Put(bufp)
-	out := make([]byte, 0, wire.ResponseSize)
+	out := make([]byte, 0, wire.ResponseHLCSize)
 	for {
 		// ReadFromUDPAddrPort keeps the receive path allocation-free: the
 		// peer address comes back as a value, not the *net.UDPAddr (plus
@@ -143,11 +152,16 @@ func (s *Server) serve() {
 			s.errsSeen.Add(1)
 			continue
 		}
-		if typ, ok := wire.PeekType(buf[:n]); ok && typ == wire.TypeAdvertise && s.advertise != nil {
+		typ, ok := wire.PeekType(buf[:n])
+		if ok && typ == wire.TypeAdvertise && s.advertise != nil {
 			s.handleAdvertise(buf[:n], peer)
 			continue
 		}
-		out = s.respondOne(buf[:n], out)
+		if ok && typ == wire.TypeRequestHLC {
+			out = s.respondHLC(buf[:n], out)
+		} else {
+			out = s.respondOne(buf[:n], out)
+		}
 		if len(out) == 0 {
 			if s.logger != nil {
 				s.logger.Printf("udptime: bad request from %v (%d bytes)", peer, n)
@@ -187,6 +201,39 @@ func (s *Server) respondOne(in, out []byte) []byte {
 		Clock:          c,
 		MaxError:       maxErr,
 		Unsynchronized: !synced,
+	})
+	if err != nil {
+		s.errsSeen.Add(1)
+		return out[:0]
+	}
+	return res
+}
+
+// respondHLC is the version-3 fast path: parse the request, fold the
+// client's timestamp into the server's hybrid logical clock, and answer
+// with the reading plus the receive event's timestamp. The HLC wall is
+// the reading's latest bound C+E, so the stamped physical component
+// never trails true time while the clock is contained.
+//
+//lint:noalloc BenchmarkServeBatch
+func (s *Server) respondHLC(in, out []byte) []byte {
+	req, err := wire.ParseRequestHLC(in)
+	if err != nil {
+		s.errsSeen.Add(1)
+		s.obsMalformed.Inc()
+		return out[:0]
+	}
+	c, maxErr, synced := s.src.Now()
+	ts := s.hlc.Update(c.Add(maxErr).UnixNano(), req.TS)
+	res, err := wire.AppendResponseHLC(out[:0], wire.ResponseHLC{
+		Response: wire.Response{
+			ReqID:          req.ReqID,
+			ServerID:       s.id,
+			Clock:          c,
+			MaxError:       maxErr,
+			Unsynchronized: !synced,
+		},
+		TS: ts,
 	})
 	if err != nil {
 		s.errsSeen.Add(1)

@@ -460,7 +460,7 @@ func TestSyncerStopJoinsGoroutine(t *testing.T) {
 
 func TestClientDefaults(t *testing.T) {
 	c := NewClient(0, nil)
-	if got, _, _, _ := c.config(); got != time.Second {
+	if got, _, _, _, _ := c.config(); got != time.Second {
 		t.Errorf("default timeout = %v", got)
 	}
 	// A zero-value client (not built by NewClient) lazily seeds its PRNG.

@@ -27,6 +27,28 @@ func FuzzParseRequest(f *testing.F) {
 	})
 }
 
+// FuzzParseRequestHLC checks the v3 request decoder never panics and
+// that any buffer it accepts round-trips byte-exactly — the v3 layout is
+// fixed-size with a single canonical form, so encode∘decode is the
+// identity on accepted prefixes.
+func FuzzParseRequestHLC(f *testing.F) {
+	f.Add(AppendRequestHLC(nil, RequestHLC{ReqID: 1}))
+	f.Add([]byte{})
+	f.Add(make([]byte, RequestHLCSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequestHLC(data)
+		if err != nil {
+			return
+		}
+		re := AppendRequestHLC(nil, req)
+		for i, b := range re {
+			if data[i] != b {
+				t.Fatalf("accepted %x but re-encodes as %x", data[:RequestHLCSize], re)
+			}
+		}
+	})
+}
+
 // FuzzParseResponse checks the response decoder never panics and that any
 // buffer it accepts round-trips exactly.
 func FuzzParseResponse(f *testing.F) {

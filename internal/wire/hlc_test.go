@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"disttime/internal/hlc"
+)
+
+func TestRequestHLCRoundTrip(t *testing.T) {
+	in := RequestHLC{
+		ReqID: 0xdeadbeefcafe,
+		TS:    hlc.Timestamp{Wall: 123456789012345, Logical: 9, Node: 4},
+	}
+	buf := AppendRequestHLC(nil, in)
+	if len(buf) != RequestHLCSize {
+		t.Fatalf("encoded size = %d, want %d", len(buf), RequestHLCSize)
+	}
+	got, err := ParseRequestHLC(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != in {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestResponseHLCRoundTrip(t *testing.T) {
+	in := ResponseHLC{
+		Response: Response{
+			ReqID:          42,
+			ServerID:       7,
+			Clock:          time.Unix(1234567890, 987654321),
+			MaxError:       250 * time.Millisecond,
+			Unsynchronized: true,
+		},
+		TS: hlc.Timestamp{Wall: 987654321098, Logical: 2, Node: 1},
+	}
+	buf, err := AppendResponseHLC(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != ResponseHLCSize {
+		t.Fatalf("encoded size = %d, want %d", len(buf), ResponseHLCSize)
+	}
+	got, err := ParseResponseHLC(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReqID != in.ReqID || got.ServerID != in.ServerID ||
+		!got.Clock.Equal(in.Clock) || got.MaxError != in.MaxError ||
+		got.Unsynchronized != in.Unsynchronized || got.TS != in.TS {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, in)
+	}
+}
+
+// TestHLCBackCompat pins the deliberate compatibility gate: a version-1
+// endpoint fed a version-3 datagram must reject it with ErrBadVersion
+// (not misparse it), and a version-3 parser must likewise reject the
+// version-1 layouts — exactly how the v2 advertise message gates.
+func TestHLCBackCompat(t *testing.T) {
+	reqV3 := AppendRequestHLC(nil, RequestHLC{ReqID: 1, TS: hlc.Timestamp{Wall: 5}})
+	respV3, err := AppendResponseHLC(nil, ResponseHLC{
+		Response: Response{ReqID: 1, Clock: time.Unix(1, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqV1 := AppendRequest(nil, Request{ReqID: 1})
+	respV1, err := AppendResponse(nil, Response{ReqID: 1, Clock: time.Unix(1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ParseRequest(reqV3); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("v1 ParseRequest(v3 request) = %v, want ErrBadVersion", err)
+	}
+	if _, err := ParseResponse(respV3); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("v1 ParseResponse(v3 response) = %v, want ErrBadVersion", err)
+	}
+	if _, _, err := ParseAdvertise(reqV3); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("v2 ParseAdvertise(v3 request) = %v, want ErrBadVersion", err)
+	}
+	if _, err := ParseRequestHLC(reqV1); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("v3 ParseRequestHLC(v1 request) = %v, want ErrBadVersion", err)
+	}
+	if _, err := ParseResponseHLC(respV1); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("v3 ParseResponseHLC(v1 response) = %v, want ErrBadVersion", err)
+	}
+}
+
+// TestPeekTypeDispatchesHLC pins the serve-loop dispatch path: PeekType
+// distinguishes the v3 types from v1/v2 so a server can route before
+// committing to a parse.
+func TestPeekTypeDispatchesHLC(t *testing.T) {
+	reqV3 := AppendRequestHLC(nil, RequestHLC{ReqID: 1})
+	if typ, ok := PeekType(reqV3); !ok || typ != TypeRequestHLC {
+		t.Errorf("PeekType(v3 request) = %d, %v; want %d, true", typ, ok, TypeRequestHLC)
+	}
+	respV3, err := AppendResponseHLC(nil, ResponseHLC{
+		Response: Response{Clock: time.Unix(1, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ, ok := PeekType(respV3); !ok || typ != TypeResponseHLC {
+		t.Errorf("PeekType(v3 response) = %d, %v; want %d, true", typ, ok, TypeResponseHLC)
+	}
+	reqV1 := AppendRequest(nil, Request{ReqID: 1})
+	if typ, ok := PeekType(reqV1); !ok || typ != TypeRequest {
+		t.Errorf("PeekType(v1 request) = %d, %v; want %d, true", typ, ok, TypeRequest)
+	}
+}
+
+func TestParseRequestHLCErrors(t *testing.T) {
+	valid := AppendRequestHLC(nil, RequestHLC{ReqID: 1})
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{name: "short header", mutate: func(b []byte) []byte { return b[:10] }, want: ErrShort},
+		{name: "short body", mutate: func(b []byte) []byte { return b[:RequestSize+4] }, want: ErrShort},
+		{
+			name:   "bad magic",
+			mutate: func(b []byte) []byte { b[0] = 'X'; return b },
+			want:   ErrBadMagic,
+		},
+		{
+			name:   "wrong type",
+			mutate: func(b []byte) []byte { b[5] = TypeResponseHLC; return b },
+			want:   ErrBadType,
+		},
+		{
+			name:   "flags set",
+			mutate: func(b []byte) []byte { b[6] = 1; return b },
+			want:   ErrBadField,
+		},
+		{
+			name: "negative wall",
+			mutate: func(b []byte) []byte {
+				b[RequestSize] = 0x80 // wall sign bit
+				return b
+			},
+			want: ErrBadField,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			buf := append([]byte(nil), valid...)
+			if _, err := ParseRequestHLC(tt.mutate(buf)); !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseResponseHLCErrors(t *testing.T) {
+	valid, err := AppendResponseHLC(nil, ResponseHLC{
+		Response: Response{ReqID: 1, Clock: time.Unix(1, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{name: "short body", mutate: func(b []byte) []byte { return b[:ResponseSize] }, want: ErrShort},
+		{
+			name:   "unknown flag",
+			mutate: func(b []byte) []byte { b[6] = 0x80; return b },
+			want:   ErrBadField,
+		},
+		{
+			name: "max error overflow",
+			mutate: func(b []byte) []byte {
+				for i := 32; i < 40; i++ {
+					b[i] = 0xff
+				}
+				return b
+			},
+			want: ErrBadField,
+		},
+		{
+			name: "negative wall",
+			mutate: func(b []byte) []byte {
+				b[ResponseSize] = 0x80
+				return b
+			},
+			want: ErrBadField,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			buf := append([]byte(nil), valid...)
+			if _, err := ParseResponseHLC(tt.mutate(buf)); !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestAppendResponseHLCRejectsNegativeError(t *testing.T) {
+	_, err := AppendResponseHLC(nil, ResponseHLC{Response: Response{MaxError: -1}})
+	if !errors.Is(err, ErrBadField) {
+		t.Errorf("error = %v, want ErrBadField", err)
+	}
+}
+
+// TestResponseHLCRoundTripProperty fuzzes the v3 response codec over
+// arbitrary field values.
+func TestResponseHLCRoundTripProperty(t *testing.T) {
+	f := func(reqID, serverID uint64, unixNano int64, maxErrRaw int64, unsync bool, wall int64, logical, node uint32) bool {
+		maxErr := time.Duration(maxErrRaw)
+		if maxErr < 0 {
+			maxErr = -maxErr
+		}
+		if maxErr < 0 { // MinInt64 negation overflow
+			maxErr = 0
+		}
+		if wall < 0 {
+			wall = -wall
+		}
+		if wall < 0 {
+			wall = 0
+		}
+		in := ResponseHLC{
+			Response: Response{
+				ReqID:          reqID,
+				ServerID:       serverID,
+				Clock:          time.Unix(0, unixNano),
+				MaxError:       maxErr,
+				Unsynchronized: unsync,
+			},
+			TS: hlc.Timestamp{Wall: wall, Logical: logical, Node: node},
+		}
+		buf, err := AppendResponseHLC(nil, in)
+		if err != nil {
+			return false
+		}
+		got, err := ParseResponseHLC(buf)
+		if err != nil {
+			return false
+		}
+		return got.ReqID == in.ReqID && got.ServerID == in.ServerID &&
+			got.Clock.Equal(in.Clock) && got.MaxError == in.MaxError &&
+			got.Unsynchronized == in.Unsynchronized && got.TS == in.TS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

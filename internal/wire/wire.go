@@ -24,11 +24,25 @@
 //	  entries  count × { addrLen u8, addr, gen u64, seq u64, status u8,
 //	                     clock f64 bits, maxError f64 bits, delta f64 bits }
 //
+//	HLC request body (version 3, 16 bytes):
+//	  ts       hlc.Timestamp (wall i64, logical u32, node u32)
+//
+//	HLC response body (version 3, 40 bytes):
+//	  serverID uint64
+//	  clock    int64   server clock, Unix nanoseconds
+//	  maxError uint64  maximum error E, nanoseconds
+//	  ts       hlc.Timestamp (wall i64, logical u32, node u32)
+//
 // Requests and responses are version 1 and never change size, so every
 // deployed client keeps working. The advertise (membership heartbeat)
 // message requires version 2: a version-1-only endpoint rejects it with
 // ErrBadVersion and drops the datagram — the deliberate compatibility
 // gate that lets roster-backed peers mix with pre-membership servers.
+// Version 3 adds the HLC request/response pair: the same exchange as
+// version 1 with a hybrid logical clock timestamp piggybacked in each
+// direction, so every RPC doubles as an hlc.Update. v1/v2-only
+// endpoints reject the new types with ErrBadVersion; v3 servers keep
+// answering v1 requests, so mixed fleets interoperate.
 package wire
 
 import (
@@ -37,6 +51,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"disttime/internal/hlc"
 )
 
 // Protocol constants.
@@ -46,10 +62,18 @@ const (
 	// VersionMembership is the protocol revision that introduced the
 	// advertise message. Requests and responses remain at Version.
 	VersionMembership uint8 = 2
+	// VersionHLC is the protocol revision that introduced the HLC
+	// request/response pair piggybacking hybrid logical clock timestamps.
+	VersionHLC uint8 = 3
 
 	// RequestSize and ResponseSize are the exact wire sizes.
 	RequestSize  = 16
 	ResponseSize = 40
+
+	// RequestHLCSize and ResponseHLCSize are the exact wire sizes of the
+	// version-3 messages: the version-1 layouts plus one hlc.Timestamp.
+	RequestHLCSize  = RequestSize + hlc.TimestampSize
+	ResponseHLCSize = ResponseSize + hlc.TimestampSize
 
 	// MaxAdvertiseEntries caps the roster entries one advertise message
 	// may carry, bounding the datagram size.
@@ -66,6 +90,11 @@ const (
 	// roster, entries carrying each member's advertised <C, E> quality.
 	// Requires VersionMembership.
 	TypeAdvertise uint8 = 3
+	// TypeRequestHLC and TypeResponseHLC are the version-3 time exchange:
+	// the version-1 request/response with an hlc.Timestamp piggybacked in
+	// each direction. Require VersionHLC.
+	TypeRequestHLC  uint8 = 4
+	TypeResponseHLC uint8 = 5
 )
 
 // Response flag bits.
@@ -221,6 +250,113 @@ func ParseResponse(buf []byte) (Response, error) {
 		Clock:          time.Unix(0, int64(binary.BigEndian.Uint64(buf[24:32]))),
 		MaxError:       time.Duration(maxErr),
 		Unsynchronized: flags&FlagUnsynchronized != 0,
+	}, nil
+}
+
+// RequestHLC is a version-3 time request: the version-1 exchange with
+// the client's hybrid logical clock timestamp piggybacked, so the
+// server's clock observes the client's causal past.
+type RequestHLC struct {
+	// ReqID correlates the response; clients should use unique values.
+	ReqID uint64
+	// TS is the client's HLC timestamp at send time.
+	TS hlc.Timestamp
+}
+
+// ResponseHLC is a version-3 response: the version-1 reading plus the
+// server's hybrid logical clock timestamp, issued after folding the
+// request's timestamp in — receiving it completes one HLC send/receive
+// round trip.
+type ResponseHLC struct {
+	Response
+	// TS is the server's HLC timestamp at reply time.
+	TS hlc.Timestamp
+}
+
+// AppendRequestHLC appends the encoded version-3 request to dst and
+// returns the extended slice.
+//
+//lint:noalloc BenchmarkWireRoundTripHLC
+func AppendRequestHLC(dst []byte, r RequestHLC) []byte {
+	var buf [RequestHLCSize]byte
+	putHeader(buf[:], VersionHLC, TypeRequestHLC, 0, r.ReqID)
+	hlc.PutTimestamp(buf[RequestSize:], r.TS)
+	return append(dst, buf[:]...)
+}
+
+// ParseRequestHLC decodes a version-3 request.
+//
+//lint:noalloc BenchmarkWireRoundTripHLC
+func ParseRequestHLC(buf []byte) (RequestHLC, error) {
+	flags, reqID, err := parseHeader(buf, TypeRequestHLC, VersionHLC)
+	if err != nil {
+		return RequestHLC{}, err
+	}
+	if flags != 0 {
+		return RequestHLC{}, fmt.Errorf("%w: request flags %#x", ErrBadField, flags)
+	}
+	if len(buf) < RequestHLCSize {
+		return RequestHLC{}, fmt.Errorf("%w: %d bytes", ErrShort, len(buf))
+	}
+	ts, err := hlc.ParseTimestamp(buf[RequestSize:])
+	if err != nil {
+		return RequestHLC{}, fmt.Errorf("%w: %v", ErrBadField, err)
+	}
+	return RequestHLC{ReqID: reqID, TS: ts}, nil
+}
+
+// AppendResponseHLC appends the encoded version-3 response to dst and
+// returns the extended slice. A negative MaxError is rejected.
+//
+//lint:noalloc BenchmarkWireRoundTripHLC
+func AppendResponseHLC(dst []byte, r ResponseHLC) ([]byte, error) {
+	if r.MaxError < 0 {
+		return nil, fmt.Errorf("%w: negative max error %v", ErrBadField, r.MaxError)
+	}
+	var buf [ResponseHLCSize]byte
+	var flags uint8
+	if r.Unsynchronized {
+		flags |= FlagUnsynchronized
+	}
+	putHeader(buf[:], VersionHLC, TypeResponseHLC, flags, r.ReqID)
+	binary.BigEndian.PutUint64(buf[16:24], r.ServerID)
+	binary.BigEndian.PutUint64(buf[24:32], uint64(r.Clock.UnixNano()))
+	binary.BigEndian.PutUint64(buf[32:40], uint64(r.MaxError))
+	hlc.PutTimestamp(buf[ResponseSize:], r.TS)
+	return append(dst, buf[:]...), nil
+}
+
+// ParseResponseHLC decodes a version-3 response.
+//
+//lint:noalloc BenchmarkWireRoundTripHLC
+func ParseResponseHLC(buf []byte) (ResponseHLC, error) {
+	flags, reqID, err := parseHeader(buf, TypeResponseHLC, VersionHLC)
+	if err != nil {
+		return ResponseHLC{}, err
+	}
+	if len(buf) < ResponseHLCSize {
+		return ResponseHLC{}, fmt.Errorf("%w: %d bytes", ErrShort, len(buf))
+	}
+	if flags&^FlagUnsynchronized != 0 {
+		return ResponseHLC{}, fmt.Errorf("%w: unknown flags %#x", ErrBadField, flags)
+	}
+	maxErr := binary.BigEndian.Uint64(buf[32:40])
+	if maxErr > math.MaxInt64 {
+		return ResponseHLC{}, fmt.Errorf("%w: max error overflows", ErrBadField)
+	}
+	ts, err := hlc.ParseTimestamp(buf[ResponseSize:])
+	if err != nil {
+		return ResponseHLC{}, fmt.Errorf("%w: %v", ErrBadField, err)
+	}
+	return ResponseHLC{
+		Response: Response{
+			ReqID:          reqID,
+			ServerID:       binary.BigEndian.Uint64(buf[16:24]),
+			Clock:          time.Unix(0, int64(binary.BigEndian.Uint64(buf[24:32]))),
+			MaxError:       time.Duration(maxErr),
+			Unsynchronized: flags&FlagUnsynchronized != 0,
+		},
+		TS: ts,
 	}, nil
 }
 
